@@ -1,0 +1,147 @@
+//! **Figure 8** — Laminar VM overhead on programs *without* security
+//! regions (the paper's DaCapo + pseudojbb experiment).
+//!
+//! For each workload, the harness runs the MiniVM under three barrier
+//! configurations — no barriers (the "unmodified JVM" baseline), static
+//! barriers, and dynamic barriers — mimicking the paper's methodology:
+//! the first iteration includes compilation, the measured iterations do
+//! not (compile caches are warm), and the median of several trials is
+//! reported. Also reported: the compile-cost ratios (the paper observes
+//! static barriers double compile time and dynamic barriers triple it)
+//! and an ablation with redundant-barrier elimination disabled.
+//!
+//! Paper result: static ≈ +6% average, dynamic ≈ +17% average.
+
+use laminar_bench::{geomean_overhead, overhead_pct, workloads};
+use laminar_vm::{BarrierMode, Program, Value, Vm};
+use std::time::{Duration, Instant};
+
+const TRIALS: usize = 11;
+
+struct Run {
+    time: Duration,
+    compile_cost: u64,
+    eliminated: u64,
+}
+
+/// Runs all five configurations of one workload with *interleaved*
+/// trials (every trial times each configuration back to back, so clock
+/// drift and cache state hit them equally) and returns per-config
+/// medians.
+fn run_all(program: &Program, n: i64) -> Vec<Run> {
+    let configs = [
+        (BarrierMode::None, true),
+        (BarrierMode::Static, true),
+        (BarrierMode::Dynamic, true),
+        (BarrierMode::Cloning, true),
+        (BarrierMode::Static, false),
+        (BarrierMode::Dynamic, false),
+    ];
+    let mut vms: Vec<Vm> = configs
+        .iter()
+        .map(|&(mode, opt)| {
+            let mut vm = Vm::new(program.clone(), vec![], mode);
+            vm.set_optimize(opt);
+            // Warmup iteration: includes compilation (the paper's first
+            // iteration) and checks the workload completes.
+            vm.call_by_name("main", &[Value::Int(n)]).expect("workload failed");
+            vm
+        })
+        .collect();
+    let mut samples: Vec<Vec<Duration>> = vec![Vec::with_capacity(TRIALS); vms.len()];
+    for _ in 0..TRIALS {
+        for (vm, s) in vms.iter_mut().zip(samples.iter_mut()) {
+            let t = Instant::now();
+            vm.call_by_name("main", &[Value::Int(n)]).expect("workload failed");
+            s.push(t.elapsed());
+        }
+    }
+    vms.iter()
+        .zip(samples.iter_mut())
+        .map(|(vm, s)| {
+            s.sort_unstable();
+            Run {
+                time: s[s.len() / 2],
+                compile_cost: vm.stats().compile_cost,
+                eliminated: vm.stats().barriers_eliminated,
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    println!("Figure 8: Laminar VM overhead on programs without security regions");
+    println!("(overheads relative to the no-barrier baseline; median of {TRIALS} runs)");
+    println!();
+    let header = format!(
+        "{:<14} {:>10} {:>9} {:>9} {:>9} {:>13} {:>11} {:>10}",
+        "benchmark", "base(ms)", "static%", "dynamic%", "cloning%", "static-noopt%", "dyn-noopt%",
+        "elim-bars"
+    );
+    println!("{header}");
+    laminar_bench::rule_for(&header);
+
+    let mut static_pcts = Vec::new();
+    let mut dynamic_pcts = Vec::new();
+    let mut cloning_pcts = Vec::new();
+    let mut static_no = Vec::new();
+    let mut dynamic_no = Vec::new();
+    let mut compile_ratios: Vec<(f64, f64)> = Vec::new();
+
+    for (name, program, n) in workloads::all() {
+        let mut runs = run_all(&program, n).into_iter();
+        let base = runs.next().unwrap();
+        let stat = runs.next().unwrap();
+        let dynm = runs.next().unwrap();
+        let clone = runs.next().unwrap();
+        let stat_no = runs.next().unwrap();
+        let dynm_no = runs.next().unwrap();
+
+        let sp = overhead_pct(base.time, stat.time);
+        let dp = overhead_pct(base.time, dynm.time);
+        let cp = overhead_pct(base.time, clone.time);
+        let spn = overhead_pct(base.time, stat_no.time);
+        let dpn = overhead_pct(base.time, dynm_no.time);
+        static_pcts.push(sp);
+        dynamic_pcts.push(dp);
+        cloning_pcts.push(cp);
+        static_no.push(spn);
+        dynamic_no.push(dpn);
+        compile_ratios.push((
+            stat.compile_cost as f64 / base.compile_cost as f64,
+            dynm.compile_cost as f64 / base.compile_cost as f64,
+        ));
+
+        println!(
+            "{:<14} {:>10.2} {:>8.1}% {:>8.1}% {:>8.1}% {:>12.1}% {:>10.1}% {:>10}",
+            name,
+            base.time.as_secs_f64() * 1e3,
+            sp,
+            dp,
+            cp,
+            spn,
+            dpn,
+            stat.eliminated
+        );
+    }
+
+    println!();
+    println!(
+        "geomean overhead:        static {:+.1}%   dynamic {:+.1}%   cloning {:+.1}%   (paper: +6% / +17%)",
+        geomean_overhead(&static_pcts),
+        geomean_overhead(&dynamic_pcts),
+        geomean_overhead(&cloning_pcts)
+    );
+    println!(
+        "geomean w/o elimination: static {:+.1}%   dynamic {:+.1}%   (ablation)",
+        geomean_overhead(&static_no),
+        geomean_overhead(&dynamic_no)
+    );
+    let n = compile_ratios.len() as f64;
+    let (s_ratio, d_ratio) = compile_ratios
+        .iter()
+        .fold((0.0, 0.0), |(a, b), (s, d)| (a + s / n, b + d / n));
+    println!(
+        "compile-cost ratio:      static {s_ratio:.1}x   dynamic {d_ratio:.1}x   (paper: ~2x / ~3x)"
+    );
+}

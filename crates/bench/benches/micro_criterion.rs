@@ -1,0 +1,97 @@
+//! Criterion microbenchmarks of Laminar's primitive operations: label
+//! lattice math, flow checks, labeled-cell barriers (static vs dynamic),
+//! region entry/exit and the kernel's hot syscall path. These are the
+//! unit costs the Figure 9 decomposition builds on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use laminar::{Laminar, RegionParams};
+use laminar_difc::{Capability, Label, SecPair, Tag};
+use laminar_os::{Kernel, LaminarModule, NullModule, OpenMode, UserId};
+
+fn labels(c: &mut Criterion) {
+    let a = Label::from_tags((1..8).map(Tag::from_raw));
+    let b = Label::from_tags((4..12).map(Tag::from_raw));
+    c.bench_function("label_subset", |bench| {
+        bench.iter(|| std::hint::black_box(a.is_subset_of(&b)))
+    });
+    c.bench_function("label_union", |bench| {
+        bench.iter(|| std::hint::black_box(a.union(&b)))
+    });
+    let pa = SecPair::secrecy_only(a.clone());
+    let pb = SecPair::secrecy_only(b.clone());
+    c.bench_function("flow_check", |bench| {
+        bench.iter(|| std::hint::black_box(pa.flows_to(&pb)))
+    });
+}
+
+fn regions_and_barriers(c: &mut Criterion) {
+    let sys = Laminar::boot();
+    sys.add_user(UserId(1), "bench");
+    let p = sys.login(UserId(1)).unwrap();
+    let t = p.create_tag().unwrap();
+    let params = RegionParams::new()
+        .secrecy(Label::singleton(t))
+        .grant(Capability::plus(t));
+
+    c.bench_function("region_enter_exit", |bench| {
+        bench.iter(|| p.secure(&params, |_| Ok(()), |_| {}).unwrap())
+    });
+
+    let cell = p
+        .secure(&params, |g| Ok(g.new_labeled(7u64)), |_| {})
+        .unwrap()
+        .unwrap();
+    c.bench_function("static_barrier_read", |bench| {
+        bench.iter(|| {
+            p.secure(&params, |g| cell.read(g, |v| std::hint::black_box(*v)), |_| {})
+                .unwrap()
+        })
+    });
+    c.bench_function("dynamic_barrier_read", |bench| {
+        bench.iter(|| {
+            p.secure(
+                &params,
+                |_| cell.read_dyn(|v| std::hint::black_box(*v)),
+                |_| {},
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn kernel_hooks(c: &mut Criterion) {
+    for (name, stat_name) in [("null_lsm", "stat/null"), ("laminar_lsm", "stat/laminar")]
+    {
+        let k = if name == "null_lsm" {
+            Kernel::boot(NullModule)
+        } else {
+            Kernel::boot(LaminarModule)
+        };
+        k.add_user(UserId(1), "bench");
+        let t = k.login(UserId(1)).unwrap();
+        let fd = t.create("f").unwrap();
+        t.close(fd).unwrap();
+        c.bench_function(stat_name, |bench| {
+            bench.iter(|| std::hint::black_box(t.stat("f").unwrap()))
+        });
+        let w = t.open("/dev/null", OpenMode::Write).unwrap();
+        let io_name = if name == "null_lsm" { "null_io/null" } else { "null_io/laminar" };
+        c.bench_function(io_name, |bench| {
+            bench.iter(|| t.write(w, &[0]).unwrap())
+        });
+    }
+}
+
+fn short_config() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = short_config();
+    targets = labels, regions_and_barriers, kernel_hooks
+}
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! # laminar-bench — the evaluation harness
+//!
+//! Regenerates every table and figure of the Laminar paper's evaluation
+//! (§6–§7). Each `benches/` target prints the same rows/series the paper
+//! reports:
+//!
+//! | Target | Paper artifact |
+//! |---|---|
+//! | `fig8_vm_overhead` | Figure 8: VM barrier overhead (static ≈ +6%, dynamic ≈ +17%) and compile-time ratios |
+//! | `table2_lmbench` | Table 2: lmbench-style OS microbenchmarks, Null vs Laminar LSM |
+//! | `table3_apps` | Table 3: application characteristics incl. % time in security regions |
+//! | `table4_gradesheet_policy` | Table 4: the GradeSheet security sets, printed and probed |
+//! | `fig9_app_overhead` | Figure 9: per-application overhead with the cost breakdown |
+//! | `micro_criterion` | Criterion microbenchmarks of the primitive operations |
+//!
+//! The library half hosts the DaCapo-like [`workloads`] and the timing
+//! utilities shared by the targets.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod workloads;
+
+use std::time::{Duration, Instant};
+
+/// Times one invocation of `f`.
+pub fn time_once<F: FnOnce()>(f: F) -> Duration {
+    let t = Instant::now();
+    f();
+    t.elapsed()
+}
+
+/// Runs `f` `trials` times and returns the median duration — the paper
+/// reports medians over 10 trials for the same reason (compilation and
+/// scheduling jitter).
+pub fn median_time<F: FnMut()>(trials: usize, mut f: F) -> Duration {
+    assert!(trials > 0);
+    let mut samples: Vec<Duration> = (0..trials).map(|_| time_once(&mut f)).collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Times two closures with *interleaved* trials (each trial runs both,
+/// back to back) and returns their median durations — the methodology
+/// every comparative harness here uses, so frequency drift and cache
+/// warmth hit both variants equally.
+pub fn interleaved_medians<FA: FnMut(), FB: FnMut()>(
+    trials: usize,
+    mut a: FA,
+    mut b: FB,
+) -> (Duration, Duration) {
+    assert!(trials > 0);
+    // Warmup both.
+    a();
+    b();
+    let mut sa = Vec::with_capacity(trials);
+    let mut sb = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        sa.push(time_once(&mut a));
+        sb.push(time_once(&mut b));
+    }
+    sa.sort_unstable();
+    sb.sort_unstable();
+    (sa[trials / 2], sb[trials / 2])
+}
+
+/// Percentage overhead of `new` relative to `base`.
+#[must_use]
+pub fn overhead_pct(base: Duration, new: Duration) -> f64 {
+    if base.as_nanos() == 0 {
+        return 0.0;
+    }
+    (new.as_secs_f64() / base.as_secs_f64() - 1.0) * 100.0
+}
+
+/// Geometric mean of (1 + overhead) factors, expressed back as a
+/// percentage — how the paper aggregates per-benchmark overheads.
+#[must_use]
+pub fn geomean_overhead(pcts: &[f64]) -> f64 {
+    if pcts.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = pcts.iter().map(|p| (1.0 + p / 100.0).max(1e-9).ln()).sum();
+    ((log_sum / pcts.len() as f64).exp() - 1.0) * 100.0
+}
+
+/// Prints a table rule line sized to the given header.
+pub fn rule_for(header: &str) {
+    println!("{}", "-".repeat(header.len()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_math() {
+        let base = Duration::from_millis(100);
+        let new = Duration::from_millis(106);
+        assert!((overhead_pct(base, new) - 6.0).abs() < 0.01);
+        assert_eq!(overhead_pct(Duration::ZERO, new), 0.0);
+    }
+
+    #[test]
+    fn geomean_of_equal_values_is_that_value() {
+        let g = geomean_overhead(&[10.0, 10.0, 10.0]);
+        assert!((g - 10.0).abs() < 1e-9);
+        assert_eq!(geomean_overhead(&[]), 0.0);
+    }
+
+    #[test]
+    fn median_is_stable() {
+        let d = median_time(5, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(d.as_nanos() > 0 || d.as_nanos() == 0); // smoke
+    }
+}

@@ -1,0 +1,149 @@
+//! Open-addressing hash-table workload: insert and probe `n` keys in a
+//! linear-probed table held in two arrays. Mixes `ALoad`-dominated
+//! probing with `AStore` insertion traffic.
+
+use laminar_vm::{Program, ProgramBuilder};
+
+const TABLE: i64 = 1 << 15;
+const MASK: i64 = TABLE - 1;
+
+/// Builds the program. `main(n)` inserts keys `k·2654435761 mod 2^31`
+/// for `k < n`, then probes them all; returns hits plus a value sample.
+#[must_use]
+pub fn build() -> Program {
+    let mut pb = ProgramBuilder::new();
+
+    // insert(keys, vals, k, v): linear probe for empty slot (key 0 = empty).
+    let insert = pb.func("insert", 4, false, 6, |b| {
+        // locals: 0=keys,1=vals,2=k,3=v,4=idx
+        b.load(2).push_int(MASK).and_mask();
+        b.store(4);
+        let probe = b.new_label();
+        let done = b.new_label();
+        b.bind(probe);
+        // if keys[idx] == 0 -> place
+        b.load(0).load(4).aload().push_int(0).cmp_eq();
+        let place = b.new_label();
+        b.jump_if_true(place);
+        // if keys[idx] == k -> overwrite value
+        b.load(0).load(4).aload().load(2).cmp_eq();
+        b.jump_if_true(place);
+        // idx = (idx + 1) & MASK
+        b.load(4).push_int(1).add().push_int(MASK).and_mask().store(4);
+        b.jump(probe);
+        b.bind(place);
+        b.load(0).load(4).load(2).astore();
+        b.load(1).load(4).load(3).astore();
+        b.jump(done);
+        b.bind(done);
+        b.ret();
+    });
+
+    // lookup(keys, vals, k) -> v or -1
+    let lookup = pb.func("lookup", 3, true, 5, |b| {
+        b.load(2).push_int(MASK).and_mask().store(3);
+        b.push_int(0).store(4); // steps guard
+        let probe = b.new_label();
+        let miss = b.new_label();
+        b.bind(probe);
+        b.load(4).push_int(TABLE).cmp_lt();
+        b.jump_if_false(miss);
+        b.load(0).load(3).aload().load(2).cmp_eq();
+        let hit = b.new_label();
+        b.jump_if_true(hit);
+        b.load(0).load(3).aload().push_int(0).cmp_eq();
+        b.jump_if_true(miss);
+        b.load(3).push_int(1).add().push_int(MASK).and_mask().store(3);
+        b.load(4).push_int(1).add().store(4);
+        b.jump(probe);
+        b.bind(hit);
+        b.load(1).load(3).aload().ret();
+        b.bind(miss);
+        b.push_int(-1).ret();
+    });
+
+    pb.func("main", 1, true, 6, |b| {
+        // locals: 0=n,1=keys,2=vals,3=i,4=acc
+        b.push_int(TABLE).new_array().store(1);
+        b.push_int(TABLE).new_array().store(2);
+        // zero-init keys (Null != Int 0, so fill explicitly)
+        b.push_int(0).store(3);
+        let z = b.new_label();
+        let zdone = b.new_label();
+        b.bind(z);
+        b.load(3).push_int(TABLE).cmp_lt().jump_if_false(zdone);
+        b.load(1).load(3).push_int(0).astore();
+        b.load(3).push_int(1).add().store(3);
+        b.jump(z);
+        b.bind(zdone);
+
+        // inserts
+        b.push_int(0).store(3);
+        let ins = b.new_label();
+        let insdone = b.new_label();
+        b.bind(ins);
+        b.load(3).load(0).cmp_lt().jump_if_false(insdone);
+        // k = (i+1) * 2654435761 mod 2^31, never 0
+        b.load(1).load(2);
+        b.load(3).push_int(1).add().push_int(2_654_435_761).mul()
+            .push_int(0x7fff_ffff).and_mask().push_int(1).or_one();
+        b.load(3); // value = i
+        b.call(insert);
+        b.load(3).push_int(1).add().store(3);
+        b.jump(ins);
+        b.bind(insdone);
+
+        // lookups
+        b.push_int(0).store(3);
+        b.push_int(0).store(4);
+        let lk = b.new_label();
+        let lkdone = b.new_label();
+        b.bind(lk);
+        b.load(3).load(0).cmp_lt().jump_if_false(lkdone);
+        b.load(1).load(2);
+        b.load(3).push_int(1).add().push_int(2_654_435_761).mul()
+            .push_int(0x7fff_ffff).and_mask().push_int(1).or_one();
+        b.call(lookup);
+        b.load(4).add().store(4);
+        b.load(3).push_int(1).add().store(3);
+        b.jump(lk);
+        b.bind(lkdone);
+        b.load(4).ret();
+    });
+
+    pb.finish().expect("hash_churn workload must verify")
+}
+
+/// Integer helpers the instruction set lacks, expressed as emit patterns.
+trait BitHelp {
+    /// `x & mask` for a power-of-two mask via `x mod (mask+1)` on a
+    /// non-negative operand.
+    fn and_mask(&mut self) -> &mut Self;
+    /// `x | 1` via parity: `x + 1 - (x mod 2)`.
+    fn or_one(&mut self) -> &mut Self;
+}
+
+impl BitHelp for laminar_vm::FunctionBuilder {
+    fn and_mask(&mut self) -> &mut Self {
+        // stack: [x, mask] -> [x mod (mask+1)]; operands guaranteed >= 0.
+        self.push_int(1).add().modulo()
+    }
+    fn or_one(&mut self) -> &mut Self {
+        // stack: [x, 1] -> discard the 1, compute x + (1 - x mod 2)
+        self.pop().dup().push_int(2).modulo().neg().push_int(1).add().add()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laminar_vm::{BarrierMode, Value, Vm};
+
+    #[test]
+    fn all_inserted_keys_are_found() {
+        let mut vm = Vm::new(build(), vec![], BarrierMode::Static);
+        let out = vm.call_by_name("main", &[Value::Int(100)]).unwrap().unwrap();
+        // acc = sum of values 0..100 = 4950 (every lookup hits).
+        assert_eq!(out, Value::Int(4950));
+    }
+}

@@ -1,0 +1,127 @@
+//! Array-churn workload: fill an array from an LCG, insertion-sort it,
+//! and checksum. Dominated by `ALoad`/`AStore` barriers.
+
+use laminar_vm::{Program, ProgramBuilder};
+
+/// Builds the program. `main(n)` sorts an `n`-element array and returns
+/// `a[0] + a[n/2] + a[n-1]` plus an order-violation count (always 0 when
+/// correct, keeping the sort honest).
+#[must_use]
+pub fn build() -> Program {
+    let mut pb = ProgramBuilder::new();
+
+    // fill(arr, n): arr[i] = lcg stream, bounded to 0..100000.
+    let fill = pb.func("fill", 2, false, 5, |b| {
+        // locals: 0=arr, 1=n, 2=i, 3=seed
+        b.push_int(0).store(2);
+        b.push_int(123_456_789).store(3);
+        let head = b.new_label();
+        let done = b.new_label();
+        b.bind(head);
+        b.load(2).load(1).cmp_lt().jump_if_false(done);
+        // seed = seed * 1103515245 + 12345
+        b.load(3).push_int(1_103_515_245).mul().push_int(12_345).add().store(3);
+        // arr[i] = abs(seed) % 100000
+        b.load(0).load(2);
+        b.load(3).dup().push_int(0).cmp_lt();
+        let pos = b.new_label();
+        b.jump_if_false(pos);
+        b.neg();
+        b.bind(pos);
+        b.push_int(100_000).modulo();
+        b.astore();
+        b.load(2).push_int(1).add().store(2);
+        b.jump(head);
+        b.bind(done);
+        b.ret();
+    });
+
+    // sort(arr, n): insertion sort.
+    let sort = pb.func("sort", 2, false, 6, |b| {
+        // locals: 0=arr, 1=n, 2=i, 3=j, 4=key
+        b.push_int(1).store(2);
+        let outer = b.new_label();
+        let outer_done = b.new_label();
+        b.bind(outer);
+        b.load(2).load(1).cmp_lt().jump_if_false(outer_done);
+        // key = arr[i]; j = i - 1
+        b.load(0).load(2).aload().store(4);
+        b.load(2).push_int(1).sub().store(3);
+        let inner = b.new_label();
+        let inner_done = b.new_label();
+        b.bind(inner);
+        // while j >= 0 && arr[j] > key
+        b.load(3).push_int(0).cmp_lt();
+        b.jump_if_true(inner_done);
+        b.load(0).load(3).aload().load(4).cmp_le();
+        b.jump_if_true(inner_done);
+        // arr[j+1] = arr[j]; j--
+        b.load(0).load(3).push_int(1).add();
+        b.load(0).load(3).aload();
+        b.astore();
+        b.load(3).push_int(1).sub().store(3);
+        b.jump(inner);
+        b.bind(inner_done);
+        // arr[j+1] = key
+        b.load(0).load(3).push_int(1).add().load(4).astore();
+        b.load(2).push_int(1).add().store(2);
+        b.jump(outer);
+        b.bind(outer_done);
+        b.ret();
+    });
+
+    // violations(arr, n) -> count of out-of-order adjacent pairs.
+    let violations = pb.func("violations", 2, true, 5, |b| {
+        b.push_int(0).store(2); // i
+        b.push_int(0).store(3); // count
+        let head = b.new_label();
+        let done = b.new_label();
+        b.bind(head);
+        b.load(2).load(1).push_int(1).sub().cmp_lt().jump_if_false(done);
+        b.load(0).load(2).push_int(1).add().aload(); // arr[i+1]
+        b.load(0).load(2).aload(); // arr[i]
+        b.cmp_lt(); // arr[i+1] < arr[i] ?
+        let no = b.new_label();
+        b.jump_if_false(no);
+        b.load(3).push_int(1).add().store(3);
+        b.bind(no);
+        b.load(2).push_int(1).add().store(2);
+        b.jump(head);
+        b.bind(done);
+        b.load(3).ret();
+    });
+
+    pb.func("main", 1, true, 3, |b| {
+        // locals: 0=n, 1=arr
+        b.load(0).new_array().store(1);
+        b.load(1).load(0).call(fill);
+        b.load(1).load(0).call(sort);
+        // checksum = arr[0] + arr[n/2] + arr[n-1] + violations*1000000
+        b.load(1).push_int(0).aload();
+        b.load(1).load(0).push_int(2).div().aload().add();
+        b.load(1).load(0).push_int(1).sub().aload().add();
+        b.load(1).load(0).call(violations).push_int(1_000_000).mul().add();
+        b.ret();
+    });
+
+    pb.finish().expect("list_sort workload must verify")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laminar_vm::{BarrierMode, Value, Vm};
+
+    #[test]
+    fn sorts_correctly() {
+        let mut vm = Vm::new(build(), vec![], BarrierMode::Dynamic);
+        let out = vm.call_by_name("main", &[Value::Int(64)]).unwrap().unwrap();
+        // No violations component means the value is < 1_000_000.
+        let v = match out {
+            Value::Int(i) => i,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(v < 1_000_000, "sort produced violations: {v}");
+        assert!(v > 0);
+    }
+}

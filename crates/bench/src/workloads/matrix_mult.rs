@@ -1,0 +1,122 @@
+//! Numeric-kernel workload: `n×n` integer matrix multiply over flat
+//! arrays. The inner loop is three array touches per iteration — the
+//! worst case for naive barrier insertion and the best case for
+//! redundant-barrier elimination (the row/col bases repeat).
+
+use laminar_vm::{Program, ProgramBuilder};
+
+/// Builds the program. `main(n)` multiplies two deterministic `n×n`
+/// matrices and returns the trace of the product.
+#[must_use]
+pub fn build() -> Program {
+    let mut pb = ProgramBuilder::new();
+
+    // fill(m, n, seed): m[i] = (i*seed) mod 97
+    let fill = pb.func("fill", 3, false, 5, |b| {
+        b.push_int(0).store(3);
+        let head = b.new_label();
+        let done = b.new_label();
+        b.bind(head);
+        b.load(3).load(1).cmp_lt().jump_if_false(done);
+        b.load(0).load(3);
+        b.load(3).load(2).mul().push_int(97).modulo();
+        b.astore();
+        b.load(3).push_int(1).add().store(3);
+        b.jump(head);
+        b.bind(done);
+        b.ret();
+    });
+
+    // mul(a, b, c, n): c = a×b
+    let mul = pb.func("mul", 4, false, 9, |b| {
+        // locals: 0=a,1=b,2=c,3=n,4=i,5=j,6=k,7=acc
+        b.push_int(0).store(4);
+        let li = b.new_label();
+        let li_done = b.new_label();
+        b.bind(li);
+        b.load(4).load(3).cmp_lt().jump_if_false(li_done);
+        b.push_int(0).store(5);
+        let lj = b.new_label();
+        let lj_done = b.new_label();
+        b.bind(lj);
+        b.load(5).load(3).cmp_lt().jump_if_false(lj_done);
+        b.push_int(0).store(6);
+        b.push_int(0).store(7);
+        let lk = b.new_label();
+        let lk_done = b.new_label();
+        b.bind(lk);
+        b.load(6).load(3).cmp_lt().jump_if_false(lk_done);
+        // acc += a[i*n+k] * b[k*n+j]
+        b.load(0).load(4).load(3).mul().load(6).add().aload();
+        b.load(1).load(6).load(3).mul().load(5).add().aload();
+        b.mul().load(7).add().store(7);
+        b.load(6).push_int(1).add().store(6);
+        b.jump(lk);
+        b.bind(lk_done);
+        // c[i*n+j] = acc
+        b.load(2).load(4).load(3).mul().load(5).add().load(7).astore();
+        b.load(5).push_int(1).add().store(5);
+        b.jump(lj);
+        b.bind(lj_done);
+        b.load(4).push_int(1).add().store(4);
+        b.jump(li);
+        b.bind(li_done);
+        b.ret();
+    });
+
+    pb.func("main", 1, true, 7, |b| {
+        // locals: 0=n,1=a,2=b,3=c,4=i,5=acc
+        b.load(0).load(0).mul().new_array().store(1);
+        b.load(0).load(0).mul().new_array().store(2);
+        b.load(0).load(0).mul().new_array().store(3);
+        b.load(1).load(0).load(0).mul().push_int(7).call(fill);
+        b.load(2).load(0).load(0).mul().push_int(13).call(fill);
+        b.load(1).load(2).load(3).load(0).call(mul);
+        // trace(c)
+        b.push_int(0).store(4);
+        b.push_int(0).store(5);
+        let head = b.new_label();
+        let done = b.new_label();
+        b.bind(head);
+        b.load(4).load(0).cmp_lt().jump_if_false(done);
+        b.load(3).load(4).load(0).mul().load(4).add().aload();
+        b.load(5).add().store(5);
+        b.load(4).push_int(1).add().store(4);
+        b.jump(head);
+        b.bind(done);
+        b.load(5).ret();
+    });
+
+    pb.finish().expect("matrix_mult workload must verify")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laminar_vm::{BarrierMode, Value, Vm};
+
+    #[test]
+    fn trace_is_stable_across_modes() {
+        let mut expect = None;
+        for mode in [BarrierMode::None, BarrierMode::Static, BarrierMode::Dynamic] {
+            let mut vm = Vm::new(build(), vec![], mode);
+            let out = vm.call_by_name("main", &[Value::Int(8)]).unwrap();
+            match expect {
+                None => expect = Some(out),
+                Some(e) => assert_eq!(e, out),
+            }
+        }
+    }
+
+    #[test]
+    fn inner_loop_is_barrier_dense() {
+        // Every a/b element touch in the O(n^3) kernel needs its barrier
+        // (distinct indices defeat the redundancy analysis here — the
+        // conservative behaviour the paper's analysis shares), so this
+        // workload is the stress case for raw barrier cost.
+        let mut vm = Vm::new(build(), vec![], BarrierMode::Static);
+        vm.call_by_name("main", &[Value::Int(8)]).unwrap();
+        let s = vm.stats();
+        assert!(s.read_barriers as i64 >= 2 * 8 * 8 * 8);
+    }
+}

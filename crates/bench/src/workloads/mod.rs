@@ -1,0 +1,99 @@
+//! Synthetic DaCapo-like workloads for the MiniVM.
+//!
+//! Figure 8 of the paper measures barrier overhead on the DaCapo suite
+//! and pseudojbb — ordinary Java programs *without* security regions.
+//! DaCapo needs a real JVM, so these bytecode programs stand in: each is
+//! barrier-dense in a different way (array churn, field-heavy object
+//! graphs, hash probing, numeric kernels, buffer growth, transaction
+//! records), which is the property the measurement depends on.
+//!
+//! Every workload exposes `build()` → a verified [`Program`] whose
+//! `main(n)` entry returns a checksum, so results can be validated
+//! across barrier modes (all modes must compute identical values).
+
+mod hash_churn;
+mod list_sort;
+mod matrix_mult;
+mod object_graph;
+mod pseudojbb;
+mod vec_grow;
+
+pub use hash_churn::build as hash_churn;
+pub use list_sort::build as list_sort;
+pub use matrix_mult::build as matrix_mult;
+pub use object_graph::build as object_graph;
+pub use pseudojbb::build as pseudojbb;
+pub use vec_grow::build as vec_grow;
+
+use laminar_vm::Program;
+
+/// All workloads with display names and the `n` sizing used by the
+/// Figure 8 harness.
+#[must_use]
+pub fn all() -> Vec<(&'static str, Program, i64)> {
+    vec![
+        ("list_sort", list_sort(), 600),
+        ("hash_churn", hash_churn(), 20_000),
+        ("object_graph", object_graph(), 14),
+        ("matrix_mult", matrix_mult(), 48),
+        ("vec_grow", vec_grow(), 30_000),
+        ("pseudojbb", pseudojbb(), 8_000),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laminar_vm::{BarrierMode, Value, Vm};
+
+    /// Small test sizes; note `object_graph`'s n is a tree *depth*.
+    fn test_size(name: &str) -> i64 {
+        if name == "object_graph" {
+            5
+        } else {
+            32
+        }
+    }
+
+    #[test]
+    fn all_workloads_verify_and_run_consistently() {
+        for (name, program, _) in all() {
+            let n = test_size(name);
+            let mut results = Vec::new();
+            for mode in [BarrierMode::None, BarrierMode::Static, BarrierMode::Dynamic] {
+                let mut vm = Vm::new(program.clone(), vec![], mode);
+                let out = vm
+                    .call_by_name("main", &[Value::Int(n)])
+                    .unwrap_or_else(|e| panic!("{name} failed under {mode:?}: {e}"));
+                results.push(out);
+            }
+            assert!(
+                results.windows(2).all(|w| w[0] == w[1]),
+                "{name}: barrier modes disagree: {results:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn workloads_execute_barriers() {
+        for (name, program, _) in all() {
+            let mut vm = Vm::new(program, vec![], BarrierMode::Dynamic);
+            vm.call_by_name("main", &[Value::Int(test_size(name))]).unwrap();
+            assert!(
+                vm.stats().read_barriers + vm.stats().write_barriers > 0,
+                "{name} must exercise barriers"
+            );
+        }
+    }
+
+    #[test]
+    fn redundancy_elimination_removes_barriers_somewhere() {
+        let mut any = 0;
+        for (name, program, _) in all() {
+            let mut vm = Vm::new(program, vec![], BarrierMode::Dynamic);
+            vm.call_by_name("main", &[Value::Int(test_size(name))]).unwrap();
+            any += vm.stats().barriers_eliminated;
+        }
+        assert!(any > 0, "the optimization should fire on the suite");
+    }
+}

@@ -1,0 +1,115 @@
+//! pseudojbb-like workload: a fixed-work transaction loop over order
+//! objects (the paper's SPECjbb2000 variant runs a fixed workload
+//! instead of a fixed time). Each transaction allocates an order,
+//! updates warehouse stock fields, and retires the oldest in-flight
+//! order — a steady mix of allocation, field reads and field writes.
+
+use laminar_vm::{Program, ProgramBuilder};
+
+const WINDOW: i64 = 64;
+
+/// Builds the program. `main(n)` processes `n` transactions and returns
+/// the final stock checksum.
+#[must_use]
+pub fn build() -> Program {
+    let mut pb = ProgramBuilder::new();
+    // Order { item, qty, amount }
+    let order = pb.add_class("Order", 3);
+    // Warehouse { stock_array, cash }
+    let warehouse = pb.add_class("Warehouse", 2);
+
+    // new_order(w, i) -> Order
+    let new_order = pb.func("new_order", 2, true, 4, |b| {
+        // locals: 0=w,1=i,2=o,3=item
+        b.new_object(order).store(2);
+        b.load(1).push_int(17).mul().push_int(256).modulo().store(3);
+        b.load(2).load(3).put_field(0);
+        b.load(2).load(1).push_int(7).modulo().push_int(1).add().put_field(1);
+        b.load(2).load(3).push_int(3).mul().put_field(2);
+        // stock[item] -= qty; cash += amount
+        b.load(0).get_field(0); // stock array
+        b.load(3);
+        b.load(0).get_field(0).load(3).aload();
+        b.load(2).get_field(1).sub();
+        b.astore();
+        b.load(0);
+        b.load(0).get_field(1).load(2).get_field(2).add();
+        b.put_field(1);
+        b.load(2).ret();
+    });
+
+    // retire(w, o): restock
+    let retire = pb.func("retire", 2, false, 3, |b| {
+        b.load(0).get_field(0);
+        b.load(1).get_field(0);
+        b.load(0).get_field(0).load(1).get_field(0).aload();
+        b.load(1).get_field(1).add();
+        b.astore();
+        b.ret();
+    });
+
+    pb.func("main", 1, true, 6, |b| {
+        // locals: 0=n,1=w,2=ring,3=i,4=o
+        b.new_object(warehouse).store(1);
+        b.load(1).push_int(256).new_array().put_field(0);
+        b.load(1).push_int(0).put_field(1);
+        // zero stock
+        b.push_int(0).store(3);
+        let z = b.new_label();
+        let zdone = b.new_label();
+        b.bind(z);
+        b.load(3).push_int(256).cmp_lt().jump_if_false(zdone);
+        b.load(1).get_field(0).load(3).push_int(1_000).astore();
+        b.load(3).push_int(1).add().store(3);
+        b.jump(z);
+        b.bind(zdone);
+        // in-flight ring of orders
+        b.push_int(WINDOW).new_array().store(2);
+        // transactions
+        b.push_int(0).store(3);
+        let tx = b.new_label();
+        let txdone = b.new_label();
+        b.bind(tx);
+        b.load(3).load(0).cmp_lt().jump_if_false(txdone);
+        // retire slot if occupied
+        b.load(2).load(3).push_int(WINDOW).modulo().aload().store(4);
+        b.load(4).push_null().cmp_eq();
+        let fresh = b.new_label();
+        b.jump_if_true(fresh);
+        b.load(1).load(4).call(retire);
+        b.bind(fresh);
+        // place new order in ring
+        b.load(2).load(3).push_int(WINDOW).modulo();
+        b.load(1).load(3).call(new_order);
+        b.astore();
+        b.load(3).push_int(1).add().store(3);
+        b.jump(tx);
+        b.bind(txdone);
+        // checksum: cash + stock[1] + stock[100]
+        b.load(1).get_field(1);
+        b.load(1).get_field(0).push_int(1).aload().add();
+        b.load(1).get_field(0).push_int(100).aload().add();
+        b.ret();
+    });
+
+    pb.finish().expect("pseudojbb workload must verify")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laminar_vm::{BarrierMode, Value, Vm};
+
+    #[test]
+    fn fixed_workload_is_deterministic() {
+        let run = |mode| {
+            let mut vm = Vm::new(build(), vec![], mode);
+            vm.call_by_name("main", &[Value::Int(500)]).unwrap().unwrap()
+        };
+        let a = run(BarrierMode::None);
+        let b = run(BarrierMode::Static);
+        let c = run(BarrierMode::Dynamic);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+}

@@ -1,0 +1,80 @@
+//! Buffer-growth workload: append `n` values into a growable vector
+//! implemented over plain arrays with doubling-and-copy, like a
+//! string-builder. Mixes allocation, bulk copies and bounds-heavy
+//! access.
+
+use laminar_vm::{Program, ProgramBuilder};
+
+/// Builds the program. `main(n)` appends `n` values (doubling capacity
+/// from 8) and returns a sampled checksum.
+#[must_use]
+pub fn build() -> Program {
+    let mut pb = ProgramBuilder::new();
+
+    // copy(src, dst, len)
+    let copy = pb.func("copy", 3, false, 4, |b| {
+        b.push_int(0).store(3);
+        let head = b.new_label();
+        let done = b.new_label();
+        b.bind(head);
+        b.load(3).load(2).cmp_lt().jump_if_false(done);
+        b.load(1).load(3);
+        b.load(0).load(3).aload();
+        b.astore();
+        b.load(3).push_int(1).add().store(3);
+        b.jump(head);
+        b.bind(done);
+        b.ret();
+    });
+
+    pb.func("main", 1, true, 7, |b| {
+        // locals: 0=n,1=buf,2=len,3=cap,4=i,5=tmp
+        b.push_int(8).new_array().store(1);
+        b.push_int(0).store(2);
+        b.push_int(8).store(3);
+        b.push_int(0).store(4);
+        let head = b.new_label();
+        let done = b.new_label();
+        b.bind(head);
+        b.load(4).load(0).cmp_lt().jump_if_false(done);
+        // grow if len == cap
+        b.load(2).load(3).cmp_eq();
+        let nogrow = b.new_label();
+        b.jump_if_false(nogrow);
+        b.load(3).push_int(2).mul().new_array().store(5);
+        b.load(1).load(5).load(2).call(copy);
+        b.load(5).store(1);
+        b.load(3).push_int(2).mul().store(3);
+        b.bind(nogrow);
+        // buf[len++] = i*31 mod 1009
+        b.load(1).load(2);
+        b.load(4).push_int(31).mul().push_int(1009).modulo();
+        b.astore();
+        b.load(2).push_int(1).add().store(2);
+        b.load(4).push_int(1).add().store(4);
+        b.jump(head);
+        b.bind(done);
+        // checksum: buf[0] + buf[len/2] + buf[len-1] + len
+        b.load(1).push_int(0).aload();
+        b.load(1).load(2).push_int(2).div().aload().add();
+        b.load(1).load(2).push_int(1).sub().aload().add();
+        b.load(2).add();
+        b.ret();
+    });
+
+    pb.finish().expect("vec_grow workload must verify")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laminar_vm::{BarrierMode, Value, Vm};
+
+    #[test]
+    fn growth_preserves_contents() {
+        let mut vm = Vm::new(build(), vec![], BarrierMode::Dynamic);
+        let out = vm.call_by_name("main", &[Value::Int(100)]).unwrap().unwrap();
+        // buf[0]=0, buf[50]=50*31%1009=541, buf[99]=99*31%1009=42; +100
+        assert_eq!(out, Value::Int(0 + 541 + 42 + 100));
+    }
+}

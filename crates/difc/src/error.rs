@@ -1,0 +1,107 @@
+//! Error types for DIFC rule violations.
+
+use crate::label::Label;
+use std::error::Error;
+use std::fmt;
+
+/// An information flow that violates the secrecy or integrity rule.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FlowError {
+    /// The secrecy rule `Sx ⊆ Sy` failed: `leaked` are the secret tags
+    /// the destination is not allowed to see.
+    Secrecy {
+        /// Secrecy label of the source.
+        source: Label,
+        /// Secrecy label of the destination.
+        dest: Label,
+        /// `Sx - Sy`: the tags that would leak.
+        leaked: Label,
+    },
+    /// The integrity rule `Iy ⊆ Ix` failed: `missing` are the integrity
+    /// tags the destination requires but the source does not carry.
+    Integrity {
+        /// Integrity label of the source.
+        source: Label,
+        /// Integrity label of the destination.
+        dest: Label,
+        /// `Iy - Ix`: endorsements the source lacks.
+        missing: Label,
+    },
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Secrecy { source, dest, leaked } => write!(
+                f,
+                "secrecy violation: flow from S{source} to S{dest} would leak {leaked}"
+            ),
+            FlowError::Integrity { source, dest, missing } => write!(
+                f,
+                "integrity violation: flow from I{source} to I{dest} lacks endorsement {missing}"
+            ),
+        }
+    }
+}
+
+impl Error for FlowError {}
+
+/// A label change rejected by the label-change rule of §3.2.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LabelChangeError {
+    /// Gaining `tags` requires `t+` capabilities the principal lacks.
+    MissingAdd {
+        /// Tags being added without the plus capability.
+        tags: Label,
+    },
+    /// Dropping `tags` requires `t-` capabilities the principal lacks.
+    MissingRemove {
+        /// Tags being dropped without the minus capability.
+        tags: Label,
+    },
+}
+
+impl fmt::Display for LabelChangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LabelChangeError::MissingAdd { tags } => {
+                write!(f, "label change requires missing add capabilities for {tags}")
+            }
+            LabelChangeError::MissingRemove { tags } => write!(
+                f,
+                "label change requires missing remove capabilities for {tags}"
+            ),
+        }
+    }
+}
+
+impl Error for LabelChangeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tag::Tag;
+
+    #[test]
+    fn errors_display_offending_tags() {
+        let t1 = Label::singleton(Tag::from_raw(1));
+        let e = FlowError::Secrecy {
+            source: t1.clone(),
+            dest: Label::empty(),
+            leaked: t1.clone(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("secrecy violation"), "{msg}");
+        assert!(msg.contains("t1"), "{msg}");
+
+        let e = LabelChangeError::MissingRemove { tags: t1 };
+        assert!(e.to_string().contains("remove"), "{e}");
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<FlowError>();
+        assert_err::<LabelChangeError>();
+    }
+}

@@ -1,0 +1,68 @@
+//! # laminar-difc — the decentralized information flow control model
+//!
+//! A faithful, standalone implementation of the DIFC model used by
+//! *Laminar: Practical Fine-Grained Decentralized Information Flow
+//! Control* (Roy, Porter, Bond, McKinley, Witchel — PLDI 2009), §3.
+//!
+//! The model has three abstractions:
+//!
+//! * [`Tag`] — a short, opaque 64-bit token with no inherent meaning.
+//! * [`Label`] — an immutable set of tags; subset ordering forms a
+//!   lattice whose bottom is the implicit empty label of every unlabeled
+//!   resource. Every data object and principal carries a [`SecPair`] of a
+//!   secrecy label and an integrity label.
+//! * [`Capability`] / [`CapSet`] — per-tag `t+` (classify/endorse) and
+//!   `t-` (declassify/drop-endorsement) privileges held by principals.
+//!
+//! Information flow from `x` to `y` is legal iff `Sx ⊆ Sy` (secrecy —
+//! Bell–LaPadula) and `Iy ⊆ Ix` (integrity — Biba); see
+//! [`SecPair::can_flow_to`]. Principals change their own labels only
+//! explicitly, under the label-change rule checked by
+//! [`check_label_change`].
+//!
+//! This crate is pure model: it has no threads, no OS and no runtime.
+//! The [`laminar-os`](https://docs.rs/laminar-os) and `laminar` crates
+//! build the enforcement machinery on top of it.
+//!
+//! ## Example: the calendar scenario of §3.3
+//!
+//! ```
+//! use laminar_difc::{CapSet, Capability, Label, SecPair, TagAllocator};
+//!
+//! let tags = TagAllocator::new();
+//! let a = tags.fresh(); // Alice's secrecy tag
+//!
+//! // Alice's calendar file is labeled {S(a)}.
+//! let calendar = SecPair::secrecy_only(Label::singleton(a));
+//!
+//! // The scheduling server holds only a+ (it may taint itself, but
+//! // never declassify).
+//! let server_caps = CapSet::from_caps([Capability::plus(a)]);
+//!
+//! // The server thread taints itself with {S(a)} to read the file...
+//! let thread = SecPair::secrecy_only(Label::singleton(a));
+//! assert!(calendar.can_flow_to(&thread).is_ok());
+//!
+//! // ...and afterwards cannot write to the unlabeled network:
+//! assert!(thread.can_flow_to(&SecPair::unlabeled()).is_err());
+//!
+//! // Nor can it shed the taint — it lacks a-:
+//! assert!(laminar_difc::check_label_change(
+//!     thread.secrecy(), &Label::empty(), &server_caps).is_err());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod caps;
+mod error;
+mod label;
+mod pair;
+mod tag;
+
+pub use caps::{CapKind, CapSet, Capability};
+pub use error::{FlowError, LabelChangeError};
+pub use label::{Label, LabelType};
+pub use pair::{check_label_change, check_pair_change, SecPair};
+pub use tag::{Tag, TagAllocator};

@@ -1,0 +1,155 @@
+//! Tags: the atoms of the DIFC model.
+//!
+//! A [`Tag`] is a short, arbitrary token drawn from a large universe of
+//! possible values (the paper draws them from a 64-bit space, so "tag
+//! exhaustion is not a concern", §4.4). A tag has no inherent meaning;
+//! meaning is established by which labels it appears in and which
+//! principals hold its capabilities.
+
+use std::fmt;
+use std::num::NonZeroU64;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An opaque 64-bit DIFC tag.
+///
+/// Tags are allocated by a [`TagAllocator`] (in a full system, by the
+/// kernel's `alloc_tag` syscall, which guarantees uniqueness). The zero
+/// value is reserved so that `Option<Tag>` is pointer-sized.
+///
+/// # Examples
+///
+/// ```
+/// use laminar_difc::TagAllocator;
+///
+/// let alloc = TagAllocator::new();
+/// let a = alloc.fresh();
+/// let b = alloc.fresh();
+/// assert_ne!(a, b);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tag(NonZeroU64);
+
+impl Tag {
+    /// Creates a tag from a raw non-zero identifier.
+    ///
+    /// This constructor exists for tests and for deserialising persistent
+    /// capability stores; normal code should obtain tags from
+    /// [`TagAllocator::fresh`] (or the kernel's `alloc_tag`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` is zero.
+    #[must_use]
+    pub fn from_raw(raw: u64) -> Self {
+        Tag(NonZeroU64::new(raw).expect("tag identifiers must be non-zero"))
+    }
+
+    /// Returns the raw 64-bit identifier of this tag.
+    #[must_use]
+    pub fn as_raw(self) -> u64 {
+        self.0.get()
+    }
+}
+
+impl fmt::Debug for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Allocates unique tags from the 64-bit tag universe.
+///
+/// The allocator is the trusted component that guarantees all tags are
+/// unique (§4.4: "The OS security module that allocates tags is trusted
+/// and ensures that all tags are unique"). It is cheap, lock-free and
+/// shareable across threads.
+#[derive(Debug)]
+pub struct TagAllocator {
+    next: AtomicU64,
+}
+
+impl TagAllocator {
+    /// Creates an allocator whose first tag is `t1`.
+    #[must_use]
+    pub fn new() -> Self {
+        TagAllocator { next: AtomicU64::new(1) }
+    }
+
+    /// Allocates a fresh, globally unique tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the 64-bit tag space is exhausted (practically
+    /// unreachable; the paper makes the same argument).
+    #[must_use]
+    pub fn fresh(&self) -> Tag {
+        let raw = self.next.fetch_add(1, Ordering::Relaxed);
+        assert!(raw != u64::MAX, "tag universe exhausted");
+        Tag::from_raw(raw)
+    }
+
+    /// Number of tags allocated so far.
+    #[must_use]
+    pub fn allocated(&self) -> u64 {
+        self.next.load(Ordering::Relaxed) - 1
+    }
+}
+
+impl Default for TagAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn fresh_tags_are_unique() {
+        let alloc = TagAllocator::new();
+        let tags: HashSet<Tag> = (0..1000).map(|_| alloc.fresh()).collect();
+        assert_eq!(tags.len(), 1000);
+        assert_eq!(alloc.allocated(), 1000);
+    }
+
+    #[test]
+    fn fresh_tags_are_unique_across_threads() {
+        let alloc = Arc::new(TagAllocator::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let alloc = Arc::clone(&alloc);
+                std::thread::spawn(move || (0..250).map(|_| alloc.fresh()).collect::<Vec<_>>())
+            })
+            .collect();
+        let mut all = HashSet::new();
+        for h in handles {
+            for t in h.join().unwrap() {
+                assert!(all.insert(t), "duplicate tag allocated");
+            }
+        }
+        assert_eq!(all.len(), 1000);
+    }
+
+    #[test]
+    fn raw_round_trip() {
+        let t = Tag::from_raw(42);
+        assert_eq!(t.as_raw(), 42);
+        assert_eq!(format!("{t}"), "t42");
+        assert_eq!(format!("{t:?}"), "t42");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_tag_rejected() {
+        let _ = Tag::from_raw(0);
+    }
+}

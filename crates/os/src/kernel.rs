@@ -1,0 +1,675 @@
+//! The simulated kernel: task/process/inode tables, boot, login, and the
+//! glue that invokes the LSM hooks.
+//!
+//! The Laminar OS "extends a standard operating system with a Laminar
+//! security module for information flow control" (§4.1). Here the
+//! "standard operating system" is this crate's simulated kernel; the
+//! security module is pluggable ([`crate::lsm::SecurityModule`]) so the
+//! very same kernel can run with [`crate::lsm::NullModule`] (stock Linux
+//! baseline) or [`crate::laminar_lsm::LaminarModule`] — which is exactly
+//! how Table 2 of the paper compares unmodified Linux against Laminar.
+
+use crate::error::{OsError, OsResult};
+use crate::lsm::{Access, SecurityModule};
+use crate::task::{
+    ProcessId, ProcessStruct, TaskId, TaskSec, TaskStruct, UserId,
+};
+use crate::vfs::file::FdTable;
+use crate::vfs::inode::{Inode, InodeId, InodeKind, Xattrs};
+use laminar_difc::{CapSet, Label, SecPair, Tag, TagAllocator};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Mutable kernel state, guarded by the big kernel lock.
+pub(crate) struct KState {
+    pub tasks: HashMap<TaskId, TaskStruct>,
+    pub processes: HashMap<ProcessId, ProcessStruct>,
+    pub inodes: HashMap<InodeId, Inode>,
+    pub root: InodeId,
+    pub next_task: u64,
+    pub next_proc: u64,
+    pub next_inode: u64,
+    /// Persistent per-user capability store (§4.4: "The OS stores the
+    /// persistent capabilities for each user in a file. On login, the OS
+    /// gives the login shell all of the user's persistent capabilities").
+    pub persistent_caps: HashMap<UserId, CapSet>,
+    pub homes: HashMap<UserId, InodeId>,
+    /// Count of LSM hook invocations (observability for tests/benches).
+    pub hook_calls: u64,
+}
+
+/// The simulated kernel. Create one with [`Kernel::boot`], obtain task
+/// handles with [`Kernel::login`], and issue syscalls through
+/// [`TaskHandle`] methods.
+///
+/// # Examples
+///
+/// ```
+/// use laminar_os::{Kernel, LaminarModule, OpenMode, UserId};
+///
+/// # fn main() -> Result<(), laminar_os::OsError> {
+/// let kernel = Kernel::boot(LaminarModule);
+/// kernel.add_user(UserId(1), "alice");
+/// let shell = kernel.login(UserId(1))?;
+/// let fd = shell.create("notes.txt")?;
+/// shell.write(fd, b"hello")?;
+/// shell.close(fd)?;
+/// let fd = shell.open("notes.txt", OpenMode::Read)?;
+/// assert_eq!(shell.read(fd, 64)?, b"hello");
+/// # Ok(())
+/// # }
+/// ```
+pub struct Kernel {
+    pub(crate) state: Mutex<KState>,
+    pub(crate) module: Box<dyn SecurityModule>,
+    pub(crate) tags: TagAllocator,
+    tcb_tag: Tag,
+    admin_tag: Tag,
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("Kernel")
+            .field("module", &self.module.name())
+            .field("tasks", &st.tasks.len())
+            .field("inodes", &st.inodes.len())
+            .finish()
+    }
+}
+
+/// A handle through which one kernel task issues syscalls.
+///
+/// Clone-able and `Send`: a `TaskHandle` can be moved into the OS thread
+/// that plays the corresponding principal. All methods take `&self`;
+/// the kernel serialises state access internally.
+#[derive(Clone, Debug)]
+pub struct TaskHandle {
+    pub(crate) kernel: Arc<Kernel>,
+    pub(crate) tid: TaskId,
+}
+
+impl Kernel {
+    /// Boots a kernel with the given security module and installs the
+    /// initial filesystem: `/`, `/etc`, `/home` (integrity-labeled with
+    /// the system administrator's tag, §5.2), plus unlabeled `/tmp`,
+    /// `/dev` and the `/dev/null` device.
+    pub fn boot<M: SecurityModule + 'static>(module: M) -> Arc<Kernel> {
+        let tags = TagAllocator::new();
+        let tcb_tag = tags.fresh();
+        let admin_tag = tags.fresh();
+        let admin_integrity =
+            SecPair::integrity_only(Label::singleton(admin_tag));
+
+        let mut inodes = HashMap::new();
+        let mut next_inode = 1u64;
+        let mut mkino = |kind: InodeKind, labels: SecPair| {
+            let id = InodeId(next_inode);
+            next_inode += 1;
+            inodes.insert(
+                id,
+                Inode { id, kind, xattrs: Xattrs { labels }, nlink: 1 },
+            );
+            id
+        };
+
+        let root = mkino(
+            InodeKind::Dir { entries: BTreeMap::new() },
+            admin_integrity.clone(),
+        );
+        let etc = mkino(
+            InodeKind::Dir { entries: BTreeMap::new() },
+            admin_integrity.clone(),
+        );
+        let home = mkino(
+            InodeKind::Dir { entries: BTreeMap::new() },
+            admin_integrity.clone(),
+        );
+        let tmp =
+            mkino(InodeKind::Dir { entries: BTreeMap::new() }, SecPair::unlabeled());
+        let dev =
+            mkino(InodeKind::Dir { entries: BTreeMap::new() }, SecPair::unlabeled());
+        let null = mkino(InodeKind::NullDevice, SecPair::unlabeled());
+
+        {
+            let rootnode = inodes.get_mut(&root).unwrap();
+            if let InodeKind::Dir { entries } = &mut rootnode.kind {
+                entries.insert("etc".into(), etc);
+                entries.insert("home".into(), home);
+                entries.insert("tmp".into(), tmp);
+                entries.insert("dev".into(), dev);
+            }
+        }
+        if let InodeKind::Dir { entries } = &mut inodes.get_mut(&dev).unwrap().kind {
+            entries.insert("null".into(), null);
+        }
+
+        Arc::new(Kernel {
+            state: Mutex::new(KState {
+                tasks: HashMap::new(),
+                processes: HashMap::new(),
+                inodes,
+                root,
+                next_task: 1,
+                next_proc: 1,
+                next_inode,
+                persistent_caps: HashMap::new(),
+                homes: HashMap::new(),
+                hook_calls: 0,
+            }),
+            module: Box::new(module),
+            tags,
+            tcb_tag,
+            admin_tag,
+        })
+    }
+
+    /// The special `tcb` integrity tag (§4.4): only a task whose
+    /// integrity label carries it may call `drop_label_tcb`.
+    #[must_use]
+    pub fn tcb_tag(&self) -> Tag {
+        self.tcb_tag
+    }
+
+    /// The system administrator's integrity tag, applied to `/`, `/etc`
+    /// and `/home` at install time (§5.2).
+    #[must_use]
+    pub fn admin_tag(&self) -> Tag {
+        self.admin_tag
+    }
+
+    /// Name of the loaded security module.
+    #[must_use]
+    pub fn module_name(&self) -> &'static str {
+        self.module.name()
+    }
+
+    /// Number of LSM hook invocations so far (for tests and benches).
+    #[must_use]
+    pub fn hook_calls(&self) -> u64 {
+        self.state.lock().hook_calls
+    }
+
+    /// Registers a user account and creates their home directory
+    /// `/home/<name>` (unlabeled, so the user does not need the
+    /// administrator's integrity tag to use it).
+    pub fn add_user(self: &Arc<Self>, user: UserId, name: &str) {
+        let mut st = self.state.lock();
+        let id = InodeId(st.next_inode);
+        st.next_inode += 1;
+        st.inodes.insert(
+            id,
+            Inode {
+                id,
+                kind: InodeKind::Dir { entries: BTreeMap::new() },
+                xattrs: Xattrs::default(),
+                nlink: 1,
+            },
+        );
+        let root = st.root;
+        let home = match &st.inodes.get(&root).unwrap().kind {
+            InodeKind::Dir { entries } => *entries.get("home").unwrap(),
+            _ => unreachable!(),
+        };
+        if let InodeKind::Dir { entries } = &mut st.inodes.get_mut(&home).unwrap().kind
+        {
+            entries.insert(name.to_string(), id);
+        }
+        st.homes.insert(user, id);
+        st.persistent_caps.entry(user).or_default();
+    }
+
+    /// Install-time administration: creates a directory with the given
+    /// labels, bypassing the DIFC checks. §5.2 labels system directories
+    /// "when the system is installed"; strict Biba traversal makes an
+    /// integrity-labeled subtree impossible to grow from inside the
+    /// rules (the design tension the paper discusses), so endowing one
+    /// is an administrator action, like the admin labels on `/`.
+    ///
+    /// # Errors
+    /// [`OsError::NotFound`]/[`OsError::Exists`] on path problems.
+    pub fn install_dir(self: &Arc<Self>, path: &str, labels: SecPair) -> OsResult<()> {
+        let mut st = self.state.lock();
+        let (parent, name) = Self::admin_resolve(&st, path)?;
+        let id = Kernel::alloc_inode(
+            &mut st,
+            InodeKind::Dir { entries: BTreeMap::new() },
+            labels,
+        );
+        match &mut st.inodes.get_mut(&parent).unwrap().kind {
+            InodeKind::Dir { entries } => {
+                if entries.contains_key(&name) {
+                    return Err(OsError::Exists);
+                }
+                entries.insert(name, id);
+                Ok(())
+            }
+            _ => Err(OsError::NotADirectory),
+        }
+    }
+
+    /// Install-time administration: creates a labeled file with initial
+    /// contents, bypassing the DIFC checks (see [`Kernel::install_dir`]).
+    ///
+    /// # Errors
+    /// [`OsError::NotFound`]/[`OsError::Exists`] on path problems.
+    pub fn install_file(
+        self: &Arc<Self>,
+        path: &str,
+        labels: SecPair,
+        data: &[u8],
+    ) -> OsResult<()> {
+        let mut st = self.state.lock();
+        let (parent, name) = Self::admin_resolve(&st, path)?;
+        let id = Kernel::alloc_inode(
+            &mut st,
+            InodeKind::File { data: data.to_vec() },
+            labels,
+        );
+        match &mut st.inodes.get_mut(&parent).unwrap().kind {
+            InodeKind::Dir { entries } => {
+                if entries.contains_key(&name) {
+                    return Err(OsError::Exists);
+                }
+                entries.insert(name, id);
+                Ok(())
+            }
+            _ => Err(OsError::NotADirectory),
+        }
+    }
+
+    /// Checkless absolute-path resolution for install-time operations.
+    fn admin_resolve(st: &KState, path: &str) -> OsResult<(InodeId, String)> {
+        let rel = path
+            .strip_prefix('/')
+            .ok_or(OsError::InvalidArgument("install paths must be absolute"))?;
+        let comps: Vec<&str> = rel.split('/').filter(|c| !c.is_empty()).collect();
+        let (last, dirs) =
+            comps.split_last().ok_or(OsError::InvalidArgument("empty path"))?;
+        let mut cur = st.root;
+        for c in dirs {
+            let node = st.inodes.get(&cur).ok_or(OsError::NotFound)?;
+            match &node.kind {
+                InodeKind::Dir { entries } => {
+                    cur = *entries.get(*c).ok_or(OsError::NotFound)?;
+                }
+                _ => return Err(OsError::NotADirectory),
+            }
+        }
+        Ok((cur, (*last).to_string()))
+    }
+
+    /// Logs a user in: spawns a fresh process with one task whose
+    /// capability set is the user's persistent capabilities and whose cwd
+    /// is their home directory (§4.4's login-shell grant).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`OsError::NoSuchTask`] if the user was never added.
+    pub fn login(self: &Arc<Self>, user: UserId) -> OsResult<TaskHandle> {
+        let mut st = self.state.lock();
+        let cwd = *st.homes.get(&user).ok_or(OsError::NoSuchTask)?;
+        let caps = st.persistent_caps.get(&user).cloned().unwrap_or_default();
+        let tid = Self::spawn_process_locked(&mut st, user, cwd, caps);
+        Ok(TaskHandle { kernel: Arc::clone(self), tid })
+    }
+
+    /// Grants the calling runtime the privileges of a trusted VM: marks
+    /// the task's process as `trusted_vm` (its threads may then hold
+    /// heterogeneous labels, §4.1) and grants the task the `tcb+`
+    /// capability so a dedicated thread can assume the `tcb` integrity
+    /// tag (§4.4). This models booting the (audited, trusted) Laminar VM
+    /// binary; it is a boot-time decision, not a syscall untrusted code
+    /// can reach.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`OsError::NoSuchTask`] if the handle's task has exited.
+    pub fn bless_vm_process(self: &Arc<Self>, task: &TaskHandle) -> OsResult<()> {
+        let mut st = self.state.lock();
+        let tcb = self.tcb_tag;
+        let t = st.tasks.get_mut(&task.tid).ok_or(OsError::NoSuchTask)?;
+        t.security.caps_mut().grant_both(tcb);
+        let pid = t.process;
+        st.processes.get_mut(&pid).unwrap().trusted_vm = true;
+        Ok(())
+    }
+
+    /// Sets the persistent capabilities stored for a user (the on-disk
+    /// capability file of §4.4). Takes effect at the next login.
+    pub fn set_persistent_caps(self: &Arc<Self>, user: UserId, caps: CapSet) {
+        self.state.lock().persistent_caps.insert(user, caps);
+    }
+
+    /// Reads back a user's persistent capabilities.
+    #[must_use]
+    pub fn persistent_caps(self: &Arc<Self>, user: UserId) -> CapSet {
+        self.state
+            .lock()
+            .persistent_caps
+            .get(&user)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    pub(crate) fn spawn_process_locked(
+        st: &mut KState,
+        user: UserId,
+        cwd: InodeId,
+        caps: CapSet,
+    ) -> TaskId {
+        let pid = ProcessId(st.next_proc);
+        st.next_proc += 1;
+        let tid = TaskId(st.next_task);
+        st.next_task += 1;
+        st.processes.insert(
+            pid,
+            ProcessStruct {
+                id: pid,
+                tasks: vec![tid],
+                fds: FdTable::new(),
+                cwd,
+                trusted_vm: false,
+                vm_areas: Vec::new(),
+                next_mmap_page: 0x1000,
+                binary: "init".into(),
+            },
+        );
+        st.tasks.insert(
+            tid,
+            TaskStruct {
+                id: tid,
+                process: pid,
+                user,
+                security: TaskSec::new(SecPair::unlabeled(), caps),
+                pending_signals: Default::default(),
+                alive: true,
+            },
+        );
+        tid
+    }
+
+    pub(crate) fn task_sec(st: &KState, tid: TaskId) -> OsResult<TaskSec> {
+        st.tasks
+            .get(&tid)
+            .filter(|t| t.alive)
+            .map(|t| t.security.clone())
+            .ok_or(OsError::NoSuchTask)
+    }
+
+    pub(crate) fn inode_labels(st: &KState, ino: InodeId) -> OsResult<SecPair> {
+        st.inodes
+            .get(&ino)
+            .map(|i| i.labels().clone())
+            .ok_or(OsError::NotFound)
+    }
+
+    /// Invokes the `inode_permission` hook, counting it.
+    pub(crate) fn hook_inode_permission(
+        &self,
+        st: &mut KState,
+        task: &TaskSec,
+        ino: InodeId,
+        mask: Access,
+    ) -> OsResult<()> {
+        st.hook_calls += 1;
+        let labels = Self::inode_labels(st, ino)?;
+        self.module.inode_permission(task, &labels, mask)
+    }
+
+    /// Resolves `path` for task `tid`, checking a read permission on
+    /// every directory traversed (directory contents — names and labels
+    /// of children — are protected by the directory's own label) and
+    /// *following symbolic links*, each of which is itself a mediated
+    /// read of the link inode (so a task that rejects the link's
+    /// integrity cannot be redirected through it — §5.2's symlink
+    /// concern).
+    ///
+    /// Returns the parent directory, the final component name, and the
+    /// target inode if it exists.
+    pub(crate) fn resolve(
+        &self,
+        st: &mut KState,
+        tid: TaskId,
+        path: &str,
+    ) -> OsResult<Resolved> {
+        self.resolve_full(st, tid, path, true)
+    }
+
+    /// Like [`Kernel::resolve`] but does not follow a symlink in the
+    /// final component (for `readlink`/`lstat`).
+    pub(crate) fn resolve_nofollow(
+        &self,
+        st: &mut KState,
+        tid: TaskId,
+        path: &str,
+    ) -> OsResult<Resolved> {
+        self.resolve_full(st, tid, path, false)
+    }
+
+    fn resolve_full(
+        &self,
+        st: &mut KState,
+        tid: TaskId,
+        path: &str,
+        follow_final: bool,
+    ) -> OsResult<Resolved> {
+        let task = Self::task_sec(st, tid)?;
+        if path.is_empty() {
+            return Err(OsError::InvalidArgument("empty path"));
+        }
+        let (start, rel): (InodeId, &str) = if let Some(stripped) =
+            path.strip_prefix('/')
+        {
+            (st.root, stripped)
+        } else {
+            let proc_id = st.tasks.get(&tid).unwrap().process;
+            (st.processes.get(&proc_id).unwrap().cwd, path)
+        };
+        let comps: Vec<String> = rel
+            .split('/')
+            .filter(|c| !c.is_empty() && *c != ".")
+            .map(str::to_string)
+            .collect();
+        self.walk(st, &task, start, comps, follow_final, 0)
+    }
+
+    fn walk(
+        &self,
+        st: &mut KState,
+        task: &TaskSec,
+        start: InodeId,
+        comps: Vec<String>,
+        follow_final: bool,
+        depth: u32,
+    ) -> OsResult<Resolved> {
+        if depth > 8 {
+            return Err(OsError::InvalidArgument("too many levels of symbolic links"));
+        }
+        if comps.is_empty() {
+            return Ok(Resolved { parent: None, name: String::new(), inode: Some(start) });
+        }
+        let mut stack: Vec<InodeId> = vec![start];
+        let mut cur = start;
+        for (i, comp) in comps.iter().enumerate() {
+            let last = i + 1 == comps.len();
+            // Looking up a name inside `cur` reads `cur`.
+            self.hook_inode_permission(st, task, cur, Access::Read)?;
+            if comp == ".." {
+                if stack.len() > 1 {
+                    stack.pop();
+                }
+                cur = *stack.last().unwrap();
+                if last {
+                    return Ok(Resolved {
+                        parent: None,
+                        name: String::new(),
+                        inode: Some(cur),
+                    });
+                }
+                continue;
+            }
+            let node = st.inodes.get(&cur).ok_or(OsError::NotFound)?;
+            let entries = match &node.kind {
+                InodeKind::Dir { entries } => entries,
+                _ => return Err(OsError::NotADirectory),
+            };
+            match entries.get(comp.as_str()) {
+                Some(&child) => {
+                    // Symlink in the path: follow it (mediated).
+                    let link_target = match &st.inodes.get(&child).map(|n| &n.kind) {
+                        Some(InodeKind::Symlink { target }) => Some(target.clone()),
+                        _ => None,
+                    };
+                    if let Some(target) = link_target {
+                        if last && !follow_final {
+                            return Ok(Resolved {
+                                parent: Some(cur),
+                                name: comp.clone(),
+                                inode: Some(child),
+                            });
+                        }
+                        // Following reads the link inode itself.
+                        self.hook_inode_permission(st, task, child, Access::Read)?;
+                        let (nstart, mut ncomps): (InodeId, Vec<String>) =
+                            if let Some(strip) = target.strip_prefix('/') {
+                                (
+                                    st.root,
+                                    strip
+                                        .split('/')
+                                        .filter(|c| !c.is_empty() && *c != ".")
+                                        .map(str::to_string)
+                                        .collect(),
+                                )
+                            } else {
+                                (
+                                    cur,
+                                    target
+                                        .split('/')
+                                        .filter(|c| !c.is_empty() && *c != ".")
+                                        .map(str::to_string)
+                                        .collect(),
+                                )
+                            };
+                        ncomps.extend(comps[i + 1..].iter().cloned());
+                        return self.walk(st, task, nstart, ncomps, follow_final, depth + 1);
+                    }
+                    if last {
+                        return Ok(Resolved {
+                            parent: Some(cur),
+                            name: comp.clone(),
+                            inode: Some(child),
+                        });
+                    }
+                    stack.push(child);
+                    cur = child;
+                }
+                None => {
+                    if last {
+                        return Ok(Resolved {
+                            parent: Some(cur),
+                            name: comp.clone(),
+                            inode: None,
+                        });
+                    }
+                    return Err(OsError::NotFound);
+                }
+            }
+        }
+        unreachable!("loop returns on last component");
+    }
+
+    pub(crate) fn alloc_inode(
+        st: &mut KState,
+        kind: InodeKind,
+        labels: SecPair,
+    ) -> InodeId {
+        let id = InodeId(st.next_inode);
+        st.next_inode += 1;
+        st.inodes.insert(id, Inode { id, kind, xattrs: Xattrs { labels }, nlink: 1 });
+        id
+    }
+}
+
+pub(crate) struct Resolved {
+    /// Parent directory (None when the path names the root / cwd itself).
+    pub parent: Option<InodeId>,
+    pub name: String,
+    pub inode: Option<InodeId>,
+}
+
+impl TaskHandle {
+    /// The task's kernel id.
+    #[must_use]
+    pub fn id(&self) -> TaskId {
+        self.tid
+    }
+
+    /// The kernel this task runs on.
+    #[must_use]
+    pub fn kernel(&self) -> &Arc<Kernel> {
+        &self.kernel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laminar_lsm::LaminarModule;
+    use crate::lsm::NullModule;
+
+    #[test]
+    fn boot_installs_system_tree() {
+        let k = Kernel::boot(NullModule);
+        k.add_user(UserId(1), "alice");
+        let sh = k.login(UserId(1)).unwrap();
+        // Home directory exists and is the cwd.
+        let md = sh.stat(".").unwrap();
+        assert!(md.is_dir);
+        // System tree is reachable.
+        assert!(sh.stat("/etc").unwrap().is_dir);
+        assert!(sh.stat("/tmp").unwrap().is_dir);
+        assert!(sh.stat("/dev/null").is_ok());
+    }
+
+    #[test]
+    fn system_dirs_carry_admin_integrity() {
+        let k = Kernel::boot(LaminarModule);
+        k.add_user(UserId(1), "alice");
+        let sh = k.login(UserId(1)).unwrap();
+        let md = sh.stat("/etc").unwrap();
+        assert!(md.labels.integrity().contains(k.admin_tag()));
+        // Home dirs are unlabeled.
+        let md = sh.stat(".").unwrap();
+        assert!(md.labels.is_unlabeled());
+    }
+
+    #[test]
+    fn login_requires_known_user() {
+        let k = Kernel::boot(NullModule);
+        assert!(matches!(k.login(UserId(7)), Err(OsError::NoSuchTask)));
+    }
+
+    #[test]
+    fn login_grants_persistent_caps() {
+        let k = Kernel::boot(NullModule);
+        k.add_user(UserId(1), "alice");
+        let tag = k.tags.fresh();
+        let mut caps = CapSet::new();
+        caps.grant_both(tag);
+        k.set_persistent_caps(UserId(1), caps.clone());
+        let sh = k.login(UserId(1)).unwrap();
+        assert_eq!(sh.current_caps().unwrap(), caps);
+    }
+
+    #[test]
+    fn hook_counter_increases_under_laminar() {
+        let k = Kernel::boot(LaminarModule);
+        k.add_user(UserId(1), "alice");
+        let sh = k.login(UserId(1)).unwrap();
+        let before = k.hook_calls();
+        let _ = sh.stat("/tmp");
+        assert!(k.hook_calls() > before);
+    }
+}

@@ -1,0 +1,188 @@
+//! The Linux-Security-Module-style hook layer.
+//!
+//! Linux provides hooks at every security-relevant kernel operation and
+//! dispatches them to a loaded security module (Wright et al., USENIX
+//! Security 2002). Laminar's OS enforcement lives almost entirely in such
+//! a module (§4.1/§5.2): the kernel proper only guarantees the hooks are
+//! called. This module defines the hook trait and the default
+//! allow-everything module; [`crate::laminar_lsm`] implements the DIFC
+//! checks.
+//!
+//! Hooks receive only *security contexts* (labels and capabilities), not
+//! kernel internals — mirroring how a real LSM reads the opaque
+//! `security` fields it attached to `task_struct`, `inode` and `file`.
+
+use crate::error::OsResult;
+use crate::task::TaskSec;
+use laminar_difc::SecPair;
+
+/// Access mask for permission hooks.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Access {
+    /// Information flows object → task.
+    Read,
+    /// Information flows task → object.
+    Write,
+    /// Both directions.
+    ReadWrite,
+}
+
+/// Verdict for operations where a visible error would itself leak
+/// information: the operation either happens or is silently dropped.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum DeliveryVerdict {
+    /// Deliver the message/signal.
+    Deliver,
+    /// Pretend success but drop it (unreliable-pipe semantics, §5.2).
+    SilentDrop,
+}
+
+/// A security module: the pluggable policy engine behind the hooks.
+///
+/// The default implementation of every hook allows the operation, so a
+/// module only overrides the hooks it cares about — like a real LSM.
+/// [`NullModule`] overrides nothing and models stock Linux;
+/// [`crate::laminar_lsm::LaminarModule`] overrides everything with the
+/// DIFC rules. The Table 2 benchmark compares the two.
+pub trait SecurityModule: Send + Sync {
+    /// Human-readable module name (appears in diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// Mediates path traversal and metadata access on an unopened inode
+    /// (the `inode_*` hook family).
+    ///
+    /// # Errors
+    /// Returns the module's veto, if any.
+    fn inode_permission(
+        &self,
+        _task: &TaskSec,
+        _inode: &SecPair,
+        _mask: Access,
+    ) -> OsResult<()> {
+        Ok(())
+    }
+
+    /// Mediates creation of a new inode with labels `new` under a parent
+    /// directory (the labeled-create rules of §5.2).
+    ///
+    /// # Errors
+    /// Returns the module's veto, if any.
+    fn inode_create(
+        &self,
+        _task: &TaskSec,
+        _parent: &SecPair,
+        _new: &SecPair,
+    ) -> OsResult<()> {
+        Ok(())
+    }
+
+    /// Mediates unlink/rmdir: removing a name from `parent` (the victim's
+    /// name is protected by the parent's label).
+    ///
+    /// # Errors
+    /// Returns the module's veto, if any.
+    fn inode_unlink(
+        &self,
+        _task: &TaskSec,
+        _parent: &SecPair,
+        _victim: &SecPair,
+    ) -> OsResult<()> {
+        Ok(())
+    }
+
+    /// Mediates each read/write on an open file descriptor (the
+    /// `file_permission` hook). Laminar needs no Flume-style endpoint
+    /// abstraction because this hook runs on *every* fd operation (§2).
+    ///
+    /// # Errors
+    /// Returns the module's veto, if any.
+    fn file_permission(
+        &self,
+        _task: &TaskSec,
+        _inode: &SecPair,
+        _mask: Access,
+    ) -> OsResult<()> {
+        Ok(())
+    }
+
+    /// Mediates memory mapping (file-backed maps carry the file's labels).
+    ///
+    /// # Errors
+    /// Returns the module's veto, if any.
+    fn file_mmap(&self, _task: &TaskSec, _backing: Option<&SecPair>) -> OsResult<()> {
+        Ok(())
+    }
+
+    /// Mediates signal delivery. A visible rejection would leak the
+    /// existence/labels of the target, so the verdict is deliver-or-drop.
+    fn task_kill(&self, _sender: &TaskSec, _target: &TaskSec) -> DeliveryVerdict {
+        DeliveryVerdict::Deliver
+    }
+
+    /// Vetoes a task label change beyond the capability checks the
+    /// syscall layer already performs.
+    ///
+    /// # Errors
+    /// Returns the module's veto, if any.
+    fn task_set_label(&self, _task: &TaskSec, _new: &SecPair) -> OsResult<()> {
+        Ok(())
+    }
+
+    /// Mediates a byte write into a pipe: deliver or silently drop.
+    fn pipe_write(&self, _task: &TaskSec, _pipe: &SecPair) -> DeliveryVerdict {
+        DeliveryVerdict::Deliver
+    }
+
+    /// Mediates a read from a pipe.
+    ///
+    /// # Errors
+    /// Returns the module's veto, if any.
+    fn pipe_read(&self, _task: &TaskSec, _pipe: &SecPair) -> OsResult<()> {
+        Ok(())
+    }
+
+    /// Mediates sending a capability through a pipe (`write_capability`).
+    fn cap_transfer(&self, _sender: &TaskSec, _pipe: &SecPair) -> DeliveryVerdict {
+        DeliveryVerdict::Deliver
+    }
+
+    /// Mediates receiving a capability from a pipe.
+    ///
+    /// # Errors
+    /// Returns the module's veto, if any.
+    fn cap_receive(&self, _receiver: &TaskSec, _pipe: &SecPair) -> OsResult<()> {
+        Ok(())
+    }
+}
+
+/// The do-nothing module: stock Linux behaviour, used as the baseline in
+/// the Table 2 microbenchmarks.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullModule;
+
+impl SecurityModule for NullModule {
+    fn name(&self) -> &'static str {
+        "null"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laminar_difc::{CapSet, Label, SecPair, Tag};
+
+    #[test]
+    fn null_module_allows_everything() {
+        let m = NullModule;
+        let task = TaskSec {
+            labels: SecPair::secrecy_only(Label::singleton(Tag::from_raw(1))),
+            caps: std::sync::Arc::new(CapSet::new()),
+        };
+        let obj = SecPair::unlabeled();
+        assert!(m.inode_permission(&task, &obj, Access::Write).is_ok());
+        assert!(m.file_permission(&task, &obj, Access::Read).is_ok());
+        assert_eq!(m.pipe_write(&task, &obj), DeliveryVerdict::Deliver);
+        assert_eq!(m.task_kill(&task, &task), DeliveryVerdict::Deliver);
+        assert_eq!(m.name(), "null");
+    }
+}

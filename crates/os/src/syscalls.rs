@@ -1,0 +1,1221 @@
+//! The syscall surface of the Laminar OS.
+//!
+//! Includes the seven security syscalls of Fig. 3 (`alloc_tag`,
+//! `set_task_label`, `drop_label_tcb`, `drop_capabilities`,
+//! `write_capability`, `create_file_labeled`, `mkdir_labeled`) plus the
+//! standard file, pipe, process, memory and signal calls the case
+//! studies and the lmbench-style microbenchmarks need.
+//!
+//! Every syscall runs under the kernel lock and consults the loaded
+//! security module at the same points a Linux LSM would.
+
+use crate::error::{OsError, OsResult};
+use crate::kernel::{Kernel, TaskHandle};
+use crate::lsm::{Access, DeliveryVerdict};
+use crate::task::{ProcessId, Signal, TaskId, TaskSec, UserId, VmArea};
+use crate::vfs::file::{Fd, OpenFile, OpenMode, PipeEnd, SocketEnd};
+use crate::vfs::inode::{InodeKind, Metadata};
+use crate::vfs::pipe::{PipeBuffer, PIPE_CAPACITY};
+use laminar_difc::{
+    check_pair_change, CapSet, Capability, Label, LabelType, SecPair, Tag,
+};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+impl TaskHandle {
+    // ----- labels & capabilities (Fig. 3) --------------------------------
+
+    /// `alloc_tag`: returns a fresh tag and grants the caller both its
+    /// capabilities. The allocator is trusted and guarantees uniqueness.
+    ///
+    /// # Errors
+    /// Fails if the task has exited.
+    pub fn alloc_tag(&self) -> OsResult<Tag> {
+        let mut st = self.kernel.state.lock();
+        let t = st
+            .tasks
+            .get_mut(&self.tid)
+            .filter(|t| t.alive)
+            .ok_or(OsError::NoSuchTask)?;
+        let tag = self.kernel.tags.fresh();
+        t.security.caps_mut().grant_both(tag);
+        Ok(tag)
+    }
+
+    /// `set_task_label`: replaces one of the caller's labels, checking
+    /// the label-change rule against its capabilities, the LSM hook, and
+    /// the multithreading restriction of §4.1 (threads of an *untrusted*
+    /// process must share labels, so heterogeneous changes are rejected
+    /// there).
+    ///
+    /// # Errors
+    /// [`OsError::LabelChangeDenied`] if a capability is missing;
+    /// [`OsError::PermissionDenied`] for the multithreading restriction.
+    pub fn set_task_label(&self, ty: LabelType, new: Label) -> OsResult<()> {
+        let mut st = self.kernel.state.lock();
+        let sec = Kernel::task_sec(&st, self.tid)?;
+        let new_pair = sec.labels.with_label(ty, new);
+        check_pair_change(&sec.labels, &new_pair, &sec.caps)?;
+        st.hook_calls += 1;
+        self.kernel.module.task_set_label(&sec, &new_pair)?;
+        let pid = st.tasks.get(&self.tid).unwrap().process;
+        let proc = st.processes.get(&pid).unwrap();
+        if !proc.trusted_vm && proc.tasks.len() > 1 {
+            // Without a trusted VM all threads must keep identical
+            // labels; a per-thread change would desynchronise them.
+            let homogeneous = proc.tasks.iter().all(|t| {
+                st.tasks.get(t).map(|ts| ts.security.labels == new_pair).unwrap_or(true)
+            });
+            if !homogeneous {
+                return Err(OsError::PermissionDenied(
+                    "threads of an untrusted multithreaded process must share labels",
+                ));
+            }
+        }
+        st.tasks.get_mut(&self.tid).unwrap().security.labels = new_pair;
+        Ok(())
+    }
+
+    /// Replaces both labels at once (convenience used by the trusted
+    /// runtime when entering a security region).
+    ///
+    /// # Errors
+    /// Same as [`Self::set_task_label`].
+    pub fn set_task_labels(&self, new: SecPair) -> OsResult<()> {
+        self.set_task_label(LabelType::Secrecy, new.secrecy().clone())?;
+        self.set_task_label(LabelType::Integrity, new.integrity().clone())
+    }
+
+    /// `drop_label_tcb`: clears the current labels of `target` *without
+    /// capability checks*. Callable only by a thread whose integrity
+    /// label carries the special `tcb` tag, and only for threads in the
+    /// caller's own address space — "the VM cannot drop the labels on
+    /// other applications" (§4.4).
+    ///
+    /// # Errors
+    /// [`OsError::PermissionDenied`] without the `tcb` tag or across
+    /// address spaces.
+    pub fn drop_label_tcb(&self, target: TaskId) -> OsResult<()> {
+        let mut st = self.kernel.state.lock();
+        let sec = Kernel::task_sec(&st, self.tid)?;
+        if !sec.labels.integrity().contains(self.kernel.tcb_tag()) {
+            return Err(OsError::PermissionDenied(
+                "drop_label_tcb requires the tcb integrity tag",
+            ));
+        }
+        let my_pid = st.tasks.get(&self.tid).unwrap().process;
+        let t = st.tasks.get_mut(&target).ok_or(OsError::NoSuchTask)?;
+        if t.process != my_pid {
+            return Err(OsError::PermissionDenied(
+                "drop_label_tcb is limited to the caller's address space",
+            ));
+        }
+        // Clear everything except the tcb tag itself if the target is the
+        // trusted thread (so it can keep making privileged calls).
+        let keep_tcb = t.security.labels.integrity().contains(self.kernel.tcb_tag());
+        t.security.labels = if keep_tcb && target == self.tid {
+            SecPair::integrity_only(Label::singleton(self.kernel.tcb_tag()))
+        } else {
+            SecPair::unlabeled()
+        };
+        Ok(())
+    }
+
+    /// Sets the labels of a thread in the caller's address space *without
+    /// capability checks*. Requires the `tcb` integrity tag: this is how
+    /// the trusted VM pushes already-validated security-region labels to
+    /// the kernel (§4.4 — "The Laminar VM is responsible for correctly
+    /// setting thread labels and capabilities inside security regions";
+    /// the VM is in the TCB, so the kernel takes its word for labels the
+    /// region-entry rules have vetted).
+    ///
+    /// # Errors
+    /// [`OsError::PermissionDenied`] without the `tcb` tag or across
+    /// address spaces.
+    pub fn set_task_labels_tcb(&self, target: TaskId, labels: SecPair) -> OsResult<()> {
+        let mut st = self.kernel.state.lock();
+        let sec = Kernel::task_sec(&st, self.tid)?;
+        if !sec.labels.integrity().contains(self.kernel.tcb_tag()) {
+            return Err(OsError::PermissionDenied(
+                "set_task_labels_tcb requires the tcb integrity tag",
+            ));
+        }
+        let my_pid = st.tasks.get(&self.tid).unwrap().process;
+        let t = st.tasks.get_mut(&target).ok_or(OsError::NoSuchTask)?;
+        if t.process != my_pid {
+            return Err(OsError::PermissionDenied(
+                "set_task_labels_tcb is limited to the caller's address space",
+            ));
+        }
+        t.security.labels = labels;
+        Ok(())
+    }
+
+    /// `drop_capabilities`: permanently removes capabilities from the
+    /// caller. (Temporary, region-scoped suspension is implemented by the
+    /// trusted runtime, which remembers and later re-grants via
+    /// [`Self::grant_capabilities_tcb`].)
+    ///
+    /// # Errors
+    /// Fails if the task has exited.
+    pub fn drop_capabilities(&self, caps: &[Capability]) -> OsResult<()> {
+        let mut st = self.kernel.state.lock();
+        let t = st
+            .tasks
+            .get_mut(&self.tid)
+            .filter(|t| t.alive)
+            .ok_or(OsError::NoSuchTask)?;
+        for &c in caps {
+            t.security.caps_mut().revoke(c);
+        }
+        Ok(())
+    }
+
+    /// Re-grants capabilities to a thread in the caller's address space.
+    /// Requires the `tcb` integrity tag: this is the restore half of the
+    /// trusted runtime's temporary capability suspension.
+    ///
+    /// # Errors
+    /// [`OsError::PermissionDenied`] without the `tcb` tag or across
+    /// address spaces.
+    pub fn grant_capabilities_tcb(
+        &self,
+        target: TaskId,
+        caps: &CapSet,
+    ) -> OsResult<()> {
+        let mut st = self.kernel.state.lock();
+        let sec = Kernel::task_sec(&st, self.tid)?;
+        if !sec.labels.integrity().contains(self.kernel.tcb_tag()) {
+            return Err(OsError::PermissionDenied(
+                "grant_capabilities_tcb requires the tcb integrity tag",
+            ));
+        }
+        let my_pid = st.tasks.get(&self.tid).unwrap().process;
+        let t = st.tasks.get_mut(&target).ok_or(OsError::NoSuchTask)?;
+        if t.process != my_pid {
+            return Err(OsError::PermissionDenied(
+                "grant_capabilities_tcb is limited to the caller's address space",
+            ));
+        }
+        t.security.caps = std::sync::Arc::new(t.security.caps.union(caps));
+        Ok(())
+    }
+
+    /// Current labels of the calling task.
+    ///
+    /// # Errors
+    /// Fails if the task has exited.
+    pub fn current_labels(&self) -> OsResult<SecPair> {
+        let st = self.kernel.state.lock();
+        Ok(Kernel::task_sec(&st, self.tid)?.labels)
+    }
+
+    /// Current capability set of the calling task.
+    ///
+    /// # Errors
+    /// Fails if the task has exited.
+    pub fn current_caps(&self) -> OsResult<CapSet> {
+        let st = self.kernel.state.lock();
+        Ok((*Kernel::task_sec(&st, self.tid)?.caps).clone())
+    }
+
+    /// `write_capability`: sends a capability through a pipe fd. The
+    /// kernel mediates: the sender must *hold* the capability, and the
+    /// labels of sender → pipe must allow communication — otherwise the
+    /// message is silently dropped (an error would leak).
+    ///
+    /// # Errors
+    /// [`OsError::BadFd`] if `fd` is not a writable pipe end;
+    /// [`OsError::PermissionDenied`] if the sender lacks the capability.
+    pub fn write_capability(&self, cap: Capability, fd: Fd) -> OsResult<()> {
+        let mut st = self.kernel.state.lock();
+        let sec = Kernel::task_sec(&st, self.tid)?;
+        if !sec.caps.has(cap) {
+            return Err(OsError::PermissionDenied(
+                "cannot send a capability the sender does not hold",
+            ));
+        }
+        let pid = st.tasks.get(&self.tid).unwrap().process;
+        let file = st
+            .processes
+            .get(&pid)
+            .unwrap()
+            .fds
+            .get(fd)
+            .cloned()
+            .ok_or(OsError::BadFd)?;
+        if file.pipe_end != Some(PipeEnd::Write) {
+            return Err(OsError::BadFd);
+        }
+        let pipe_labels = Kernel::inode_labels(&st, file.inode)?;
+        st.hook_calls += 1;
+        match self.kernel.module.cap_transfer(&sec, &pipe_labels) {
+            DeliveryVerdict::Deliver => {
+                if let Some(inode) = st.inodes.get_mut(&file.inode) {
+                    if let InodeKind::Pipe { buffer } = &mut inode.kind {
+                        let _ = buffer.push_cap(cap);
+                    }
+                }
+                Ok(())
+            }
+            DeliveryVerdict::SilentDrop => Ok(()),
+        }
+    }
+
+    /// Receives a capability from a pipe fd, if one is at the head of the
+    /// queue. Grants it to the caller. Nonblocking.
+    ///
+    /// # Errors
+    /// [`OsError::BadFd`] if `fd` is not a readable pipe end; a flow
+    /// error if the pipe's labels may not flow to the receiver.
+    pub fn read_capability(&self, fd: Fd) -> OsResult<Option<Capability>> {
+        let mut st = self.kernel.state.lock();
+        let sec = Kernel::task_sec(&st, self.tid)?;
+        let pid = st.tasks.get(&self.tid).unwrap().process;
+        let file = st
+            .processes
+            .get(&pid)
+            .unwrap()
+            .fds
+            .get(fd)
+            .cloned()
+            .ok_or(OsError::BadFd)?;
+        if file.pipe_end != Some(PipeEnd::Read) {
+            return Err(OsError::BadFd);
+        }
+        let pipe_labels = Kernel::inode_labels(&st, file.inode)?;
+        st.hook_calls += 1;
+        self.kernel.module.cap_receive(&sec, &pipe_labels)?;
+        let cap = match st.inodes.get_mut(&file.inode) {
+            Some(inode) => match &mut inode.kind {
+                InodeKind::Pipe { buffer } => buffer.pop_cap(),
+                _ => None,
+            },
+            None => None,
+        };
+        if let Some(c) = cap {
+            st.tasks.get_mut(&self.tid).unwrap().security.caps_mut().grant(c);
+        }
+        Ok(cap)
+    }
+
+    /// Persists the caller's current capabilities as the user's
+    /// persistent capability set (the on-disk store of §4.4).
+    ///
+    /// # Errors
+    /// Fails if the task has exited.
+    pub fn save_persistent_caps(&self) -> OsResult<()> {
+        let mut st = self.kernel.state.lock();
+        let t = st.tasks.get(&self.tid).filter(|t| t.alive).ok_or(OsError::NoSuchTask)?;
+        let user = t.user;
+        let caps = (*t.security.caps).clone();
+        st.persistent_caps.insert(user, caps);
+        Ok(())
+    }
+
+    // ----- files ----------------------------------------------------------
+
+    /// `create_file_labeled` (Fig. 3): creates a file with explicit
+    /// labels, enforcing the three conditions of §5.2 via the
+    /// `inode_create` hook, and opens it read-write.
+    ///
+    /// # Errors
+    /// [`OsError::Exists`] if the name is taken; hook vetoes otherwise.
+    pub fn create_file_labeled(&self, path: &str, labels: SecPair) -> OsResult<Fd> {
+        self.create_inode(path, labels, false)
+    }
+
+    /// `mkdir_labeled` (Fig. 3): creates a directory with explicit labels
+    /// under the same rules.
+    ///
+    /// # Errors
+    /// Same as [`Self::create_file_labeled`].
+    pub fn mkdir_labeled(&self, path: &str, labels: SecPair) -> OsResult<()> {
+        self.create_inode(path, labels, true).map(|_| ())
+    }
+
+    /// Creates an unlabeled-API file: the new file carries the labels of
+    /// the creating thread (§4.5: "Other system resources use the label
+    /// of their creating thread").
+    ///
+    /// # Errors
+    /// Same as [`Self::create_file_labeled`].
+    pub fn create(&self, path: &str) -> OsResult<Fd> {
+        let labels = self.current_labels()?;
+        self.create_file_labeled(path, labels)
+    }
+
+    /// Creates a directory carrying the labels of the creating thread.
+    ///
+    /// # Errors
+    /// Same as [`Self::create_file_labeled`].
+    pub fn mkdir(&self, path: &str) -> OsResult<()> {
+        let labels = self.current_labels()?;
+        self.mkdir_labeled(path, labels)
+    }
+
+    fn create_inode(&self, path: &str, labels: SecPair, dir: bool) -> OsResult<Fd> {
+        let mut st = self.kernel.state.lock();
+        let sec = Kernel::task_sec(&st, self.tid)?;
+        let r = self.kernel.resolve(&mut st, self.tid, path)?;
+        if r.inode.is_some() {
+            return Err(OsError::Exists);
+        }
+        let parent = r.parent.ok_or(OsError::InvalidArgument("path names a directory"))?;
+        let parent_labels = Kernel::inode_labels(&st, parent)?;
+        st.hook_calls += 1;
+        self.kernel.module.inode_create(&sec, &parent_labels, &labels)?;
+        let kind = if dir {
+            InodeKind::Dir { entries: BTreeMap::new() }
+        } else {
+            InodeKind::File { data: Vec::new() }
+        };
+        let id = Kernel::alloc_inode(&mut st, kind, labels);
+        if let InodeKind::Dir { entries } =
+            &mut st.inodes.get_mut(&parent).unwrap().kind
+        {
+            entries.insert(r.name, id);
+        }
+        if dir {
+            return Ok(Fd(u32::MAX)); // sentinel, discarded by mkdir_labeled
+        }
+        let pid = st.tasks.get(&self.tid).unwrap().process;
+        let fd = st.processes.get_mut(&pid).unwrap().fds.insert(OpenFile {
+            inode: id,
+            mode: OpenMode::ReadWrite,
+            offset: 0,
+            pipe_end: None,
+            socket_end: None,
+        });
+        Ok(fd)
+    }
+
+    /// Opens an existing file. The open itself checks `inode_permission`
+    /// for the requested mode; each subsequent read/write re-checks
+    /// `file_permission` (labels may have to be re-validated per
+    /// operation because the *task's* labels change across security
+    /// regions).
+    ///
+    /// # Errors
+    /// [`OsError::NotFound`]; [`OsError::IsADirectory`]; hook vetoes.
+    pub fn open(&self, path: &str, mode: OpenMode) -> OsResult<Fd> {
+        let mut st = self.kernel.state.lock();
+        let sec = Kernel::task_sec(&st, self.tid)?;
+        let r = self.kernel.resolve(&mut st, self.tid, path)?;
+        let ino = r.inode.ok_or(OsError::NotFound)?;
+        if st.inodes.get(&ino).map(|i| i.kind.is_dir()).unwrap_or(false) {
+            return Err(OsError::IsADirectory);
+        }
+        let mask = match mode {
+            OpenMode::Read => Access::Read,
+            OpenMode::Write => Access::Write,
+            OpenMode::ReadWrite => Access::ReadWrite,
+        };
+        self.kernel.hook_inode_permission(&mut st, &sec, ino, mask)?;
+        let pid = st.tasks.get(&self.tid).unwrap().process;
+        let fd = st.processes.get_mut(&pid).unwrap().fds.insert(OpenFile {
+            inode: ino,
+            mode,
+            offset: 0,
+            pipe_end: None,
+            socket_end: None,
+        });
+        Ok(fd)
+    }
+
+    /// Closes a descriptor.
+    ///
+    /// # Errors
+    /// [`OsError::BadFd`] if not open.
+    pub fn close(&self, fd: Fd) -> OsResult<()> {
+        let mut st = self.kernel.state.lock();
+        let pid = st
+            .tasks
+            .get(&self.tid)
+            .filter(|t| t.alive)
+            .ok_or(OsError::NoSuchTask)?
+            .process;
+        let file =
+            st.processes.get_mut(&pid).unwrap().fds.remove(fd).ok_or(OsError::BadFd)?;
+        if let Some(end) = file.pipe_end {
+            if let Some(inode) = st.inodes.get_mut(&file.inode) {
+                if let InodeKind::Pipe { buffer } = &mut inode.kind {
+                    match end {
+                        PipeEnd::Read => buffer.drop_reader(),
+                        PipeEnd::Write => buffer.drop_writer(),
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads up to `max` bytes from an open descriptor.
+    ///
+    /// For pipes this is **nonblocking**: an empty pipe yields zero bytes
+    /// with no EOF indication (the writer's exit may not be signalled
+    /// across labels, §5.2).
+    ///
+    /// # Errors
+    /// [`OsError::BadFd`]; flow vetoes from `file_permission`.
+    pub fn read(&self, fd: Fd, max: usize) -> OsResult<Vec<u8>> {
+        let mut st = self.kernel.state.lock();
+        let sec = Kernel::task_sec(&st, self.tid)?;
+        let pid = st.tasks.get(&self.tid).unwrap().process;
+        let file = st
+            .processes
+            .get(&pid)
+            .unwrap()
+            .fds
+            .get(fd)
+            .cloned()
+            .ok_or(OsError::BadFd)?;
+        if !file.mode.readable() {
+            return Err(OsError::BadFd);
+        }
+        let labels = Kernel::inode_labels(&st, file.inode)?;
+        st.hook_calls += 1;
+        match file.pipe_end {
+            Some(PipeEnd::Read) => {
+                self.kernel.module.pipe_read(&sec, &labels)?;
+                let data = match &mut st.inodes.get_mut(&file.inode).unwrap().kind {
+                    InodeKind::Pipe { buffer } => buffer.pop_bytes(max),
+                    _ => Vec::new(),
+                };
+                Ok(data)
+            }
+            Some(PipeEnd::Write) => Err(OsError::BadFd),
+            None if file.socket_end.is_some() => {
+                // Socket read: nonblocking, label-mediated like a pipe.
+                self.kernel.module.pipe_read(&sec, &labels)?;
+                let end = file.socket_end.unwrap();
+                let data = match &mut st.inodes.get_mut(&file.inode).unwrap().kind {
+                    InodeKind::Socket { ab, ba } => match end {
+                        SocketEnd::A => ba.pop_bytes(max),
+                        SocketEnd::B => ab.pop_bytes(max),
+                    },
+                    _ => Vec::new(),
+                };
+                Ok(data)
+            }
+            None => {
+                self.kernel.module.file_permission(&sec, &labels, Access::Read)?;
+                let inode = st.inodes.get(&file.inode).ok_or(OsError::BadFd)?;
+                let data = match &inode.kind {
+                    InodeKind::File { data } => {
+                        let start = (file.offset as usize).min(data.len());
+                        let end = (start + max).min(data.len());
+                        data[start..end].to_vec()
+                    }
+                    InodeKind::NullDevice => Vec::new(),
+                    InodeKind::Dir { .. } => return Err(OsError::IsADirectory),
+                    InodeKind::Symlink { .. } => {
+                        return Err(OsError::Unsupported("read on a symlink fd"))
+                    }
+                    InodeKind::Pipe { .. } | InodeKind::Socket { .. } => unreachable!(),
+                };
+                let n = data.len() as u64;
+                let pid = st.tasks.get(&self.tid).unwrap().process;
+                if let Some(f) = st.processes.get_mut(&pid).unwrap().fds.get_mut(fd) {
+                    f.offset += n;
+                }
+                Ok(data)
+            }
+        }
+    }
+
+    /// Writes bytes at the descriptor's offset.
+    ///
+    /// Pipe writes are **unreliable**: if the flow check fails or the
+    /// buffer is full the message is *silently dropped* and the call
+    /// still reports full success — an error code would leak (§5.2).
+    ///
+    /// # Errors
+    /// [`OsError::BadFd`]; flow vetoes from `file_permission` (regular
+    /// files only — pipe label failures drop silently).
+    pub fn write(&self, fd: Fd, data: &[u8]) -> OsResult<usize> {
+        let mut st = self.kernel.state.lock();
+        let sec = Kernel::task_sec(&st, self.tid)?;
+        let pid = st.tasks.get(&self.tid).unwrap().process;
+        let file = st
+            .processes
+            .get(&pid)
+            .unwrap()
+            .fds
+            .get(fd)
+            .cloned()
+            .ok_or(OsError::BadFd)?;
+        if !file.mode.writable() {
+            return Err(OsError::BadFd);
+        }
+        let labels = Kernel::inode_labels(&st, file.inode)?;
+        st.hook_calls += 1;
+        match file.pipe_end {
+            Some(PipeEnd::Write) => {
+                match self.kernel.module.pipe_write(&sec, &labels) {
+                    DeliveryVerdict::Deliver => {
+                        if let InodeKind::Pipe { buffer } =
+                            &mut st.inodes.get_mut(&file.inode).unwrap().kind
+                        {
+                            let _ = buffer.push_bytes(data); // full ⇒ silent drop
+                        }
+                    }
+                    DeliveryVerdict::SilentDrop => {}
+                }
+                Ok(data.len())
+            }
+            Some(PipeEnd::Read) => Err(OsError::BadFd),
+            None if file.socket_end.is_some() => {
+                // Socket write: deliver or silently drop (pipe semantics).
+                match self.kernel.module.pipe_write(&sec, &labels) {
+                    DeliveryVerdict::Deliver => {
+                        let end = file.socket_end.unwrap();
+                        if let InodeKind::Socket { ab, ba } =
+                            &mut st.inodes.get_mut(&file.inode).unwrap().kind
+                        {
+                            let _ = match end {
+                                SocketEnd::A => ab.push_bytes(data),
+                                SocketEnd::B => ba.push_bytes(data),
+                            };
+                        }
+                    }
+                    DeliveryVerdict::SilentDrop => {}
+                }
+                Ok(data.len())
+            }
+            None => {
+                self.kernel.module.file_permission(&sec, &labels, Access::Write)?;
+                let inode = st.inodes.get_mut(&file.inode).ok_or(OsError::BadFd)?;
+                match &mut inode.kind {
+                    InodeKind::File { data: contents } => {
+                        let off = file.offset as usize;
+                        if contents.len() < off + data.len() {
+                            contents.resize(off + data.len(), 0);
+                        }
+                        contents[off..off + data.len()].copy_from_slice(data);
+                    }
+                    InodeKind::NullDevice => {}
+                    InodeKind::Dir { .. } => return Err(OsError::IsADirectory),
+                    InodeKind::Symlink { .. } => {
+                        return Err(OsError::Unsupported("write on a symlink fd"))
+                    }
+                    InodeKind::Pipe { .. } | InodeKind::Socket { .. } => unreachable!(),
+                }
+                let pid = st.tasks.get(&self.tid).unwrap().process;
+                if let Some(f) = st.processes.get_mut(&pid).unwrap().fds.get_mut(fd) {
+                    f.offset += data.len() as u64;
+                }
+                Ok(data.len())
+            }
+        }
+    }
+
+    /// `stat`: metadata of the inode at `path`. Requires read permission
+    /// on the inode (its size and link count are protected by its own
+    /// label); the name and labels were already mediated by the
+    /// traversal of the parent.
+    ///
+    /// # Errors
+    /// [`OsError::NotFound`]; hook vetoes.
+    pub fn stat(&self, path: &str) -> OsResult<Metadata> {
+        let mut st = self.kernel.state.lock();
+        let sec = Kernel::task_sec(&st, self.tid)?;
+        let r = self.kernel.resolve(&mut st, self.tid, path)?;
+        let ino = r.inode.ok_or(OsError::NotFound)?;
+        self.kernel.hook_inode_permission(&mut st, &sec, ino, Access::Read)?;
+        let inode = st.inodes.get(&ino).unwrap();
+        Ok(Metadata {
+            inode: ino,
+            is_dir: inode.kind.is_dir(),
+            size: match &inode.kind {
+                InodeKind::File { data } => data.len() as u64,
+                _ => 0,
+            },
+            labels: inode.labels().clone(),
+            nlink: inode.nlink,
+        })
+    }
+
+    /// Like `stat`, but does not follow a final-component symlink (the
+    /// returned metadata describes the link inode itself).
+    ///
+    /// # Errors
+    /// [`OsError::NotFound`]; hook vetoes.
+    pub fn lstat(&self, path: &str) -> OsResult<Metadata> {
+        let mut st = self.kernel.state.lock();
+        let sec = Kernel::task_sec(&st, self.tid)?;
+        let r = self.kernel.resolve_nofollow(&mut st, self.tid, path)?;
+        let ino = r.inode.ok_or(OsError::NotFound)?;
+        self.kernel.hook_inode_permission(&mut st, &sec, ino, Access::Read)?;
+        let inode = st.inodes.get(&ino).unwrap();
+        Ok(Metadata {
+            inode: ino,
+            is_dir: inode.kind.is_dir(),
+            size: match &inode.kind {
+                InodeKind::File { data } => data.len() as u64,
+                InodeKind::Symlink { target } => target.len() as u64,
+                _ => 0,
+            },
+            labels: inode.labels().clone(),
+            nlink: inode.nlink,
+        })
+    }
+
+    /// Returns only the labels of the inode at `path`. The labels are
+    /// protected by the *parent directory's* label (§5.2), so this needs
+    /// only the traversal checks — letting an unlabeled thread discover
+    /// which labels it must acquire before opening a secret file.
+    ///
+    /// # Errors
+    /// [`OsError::NotFound`]; traversal vetoes.
+    pub fn get_labels(&self, path: &str) -> OsResult<SecPair> {
+        let mut st = self.kernel.state.lock();
+        let r = self.kernel.resolve(&mut st, self.tid, path)?;
+        let ino = r.inode.ok_or(OsError::NotFound)?;
+        Kernel::inode_labels(&st, ino)
+    }
+
+    /// Removes the name at `path` (file or empty directory). The name is
+    /// protected by the parent directory's label, so this is a write to
+    /// the parent.
+    ///
+    /// # Errors
+    /// [`OsError::NotFound`]; [`OsError::NotEmpty`]; hook vetoes.
+    pub fn unlink(&self, path: &str) -> OsResult<()> {
+        let mut st = self.kernel.state.lock();
+        let sec = Kernel::task_sec(&st, self.tid)?;
+        let r = self.kernel.resolve(&mut st, self.tid, path)?;
+        let ino = r.inode.ok_or(OsError::NotFound)?;
+        let parent = r.parent.ok_or(OsError::InvalidArgument("cannot unlink a root"))?;
+        if let InodeKind::Dir { entries } = &st.inodes.get(&ino).unwrap().kind {
+            if !entries.is_empty() {
+                return Err(OsError::NotEmpty);
+            }
+        }
+        let parent_labels = Kernel::inode_labels(&st, parent)?;
+        let victim_labels = Kernel::inode_labels(&st, ino)?;
+        st.hook_calls += 1;
+        self.kernel.module.inode_unlink(&sec, &parent_labels, &victim_labels)?;
+        if let InodeKind::Dir { entries } =
+            &mut st.inodes.get_mut(&parent).unwrap().kind
+        {
+            entries.remove(&r.name);
+        }
+        st.inodes.remove(&ino);
+        Ok(())
+    }
+
+    /// Lists the names in a directory (a read of the directory).
+    ///
+    /// # Errors
+    /// [`OsError::NotADirectory`]; hook vetoes.
+    pub fn readdir(&self, path: &str) -> OsResult<Vec<String>> {
+        let mut st = self.kernel.state.lock();
+        let sec = Kernel::task_sec(&st, self.tid)?;
+        let r = self.kernel.resolve(&mut st, self.tid, path)?;
+        let ino = r.inode.ok_or(OsError::NotFound)?;
+        self.kernel.hook_inode_permission(&mut st, &sec, ino, Access::Read)?;
+        match &st.inodes.get(&ino).unwrap().kind {
+            InodeKind::Dir { entries } => Ok(entries.keys().cloned().collect()),
+            _ => Err(OsError::NotADirectory),
+        }
+    }
+
+    /// Changes the calling process's working directory.
+    ///
+    /// # Errors
+    /// [`OsError::NotADirectory`]; traversal vetoes.
+    pub fn chdir(&self, path: &str) -> OsResult<()> {
+        let mut st = self.kernel.state.lock();
+        let r = self.kernel.resolve(&mut st, self.tid, path)?;
+        let ino = r.inode.ok_or(OsError::NotFound)?;
+        if !st.inodes.get(&ino).unwrap().kind.is_dir() {
+            return Err(OsError::NotADirectory);
+        }
+        let pid = st.tasks.get(&self.tid).unwrap().process;
+        st.processes.get_mut(&pid).unwrap().cwd = ino;
+        Ok(())
+    }
+
+    // ----- pipes ----------------------------------------------------------
+
+    /// Creates a pipe labeled with the calling thread's current labels.
+    /// Returns `(read_end, write_end)`.
+    ///
+    /// # Errors
+    /// Fails if the task has exited.
+    pub fn pipe(&self) -> OsResult<(Fd, Fd)> {
+        let mut st = self.kernel.state.lock();
+        let sec = Kernel::task_sec(&st, self.tid)?;
+        let ino = Kernel::alloc_inode(
+            &mut st,
+            InodeKind::Pipe { buffer: PipeBuffer::new(PIPE_CAPACITY) },
+            sec.labels.clone(),
+        );
+        let pid = st.tasks.get(&self.tid).unwrap().process;
+        let fds = &mut st.processes.get_mut(&pid).unwrap().fds;
+        let r = fds.insert(OpenFile {
+            inode: ino,
+            mode: OpenMode::Read,
+            offset: 0,
+            pipe_end: Some(PipeEnd::Read),
+            socket_end: None,
+        });
+        let w = fds.insert(OpenFile {
+            inode: ino,
+            mode: OpenMode::Write,
+            offset: 0,
+            pipe_end: Some(PipeEnd::Write),
+            socket_end: None,
+        });
+        Ok((r, w))
+    }
+
+    /// Creates a connected socket pair labeled with the calling thread's
+    /// current labels. Both ends are read-write; traffic is mediated like
+    /// pipe traffic (silent drops on illegal flows). Returns `(a, b)`.
+    ///
+    /// # Errors
+    /// Fails if the task has exited.
+    pub fn socketpair(&self) -> OsResult<(Fd, Fd)> {
+        let mut st = self.kernel.state.lock();
+        let sec = Kernel::task_sec(&st, self.tid)?;
+        let ino = Kernel::alloc_inode(
+            &mut st,
+            InodeKind::Socket {
+                ab: PipeBuffer::new(PIPE_CAPACITY),
+                ba: PipeBuffer::new(PIPE_CAPACITY),
+            },
+            sec.labels.clone(),
+        );
+        let pid = st.tasks.get(&self.tid).unwrap().process;
+        let fds = &mut st.processes.get_mut(&pid).unwrap().fds;
+        let a = fds.insert(OpenFile {
+            inode: ino,
+            mode: OpenMode::ReadWrite,
+            offset: 0,
+            pipe_end: None,
+            socket_end: Some(SocketEnd::A),
+        });
+        let b = fds.insert(OpenFile {
+            inode: ino,
+            mode: OpenMode::ReadWrite,
+            offset: 0,
+            pipe_end: None,
+            socket_end: Some(SocketEnd::B),
+        });
+        Ok((a, b))
+    }
+
+    /// Creates a symbolic link at `linkpath` pointing to `target`. The
+    /// link inode carries the calling thread's labels (subject to the
+    /// §5.2 creation rules), so a later traversal *reads* the link — a
+    /// task that does not accept the link's integrity cannot be tricked
+    /// through it (the symlink attack the paper's directory-integrity
+    /// discussion targets).
+    ///
+    /// # Errors
+    /// [`OsError::Exists`]; creation-rule vetoes.
+    pub fn symlink(&self, target: &str, linkpath: &str) -> OsResult<()> {
+        let mut st = self.kernel.state.lock();
+        let sec = Kernel::task_sec(&st, self.tid)?;
+        let r = self.kernel.resolve(&mut st, self.tid, linkpath)?;
+        if r.inode.is_some() {
+            return Err(OsError::Exists);
+        }
+        let parent =
+            r.parent.ok_or(OsError::InvalidArgument("link path names a directory"))?;
+        let parent_labels = Kernel::inode_labels(&st, parent)?;
+        st.hook_calls += 1;
+        self.kernel
+            .module
+            .inode_create(&sec, &parent_labels, &sec.labels)?;
+        let id = Kernel::alloc_inode(
+            &mut st,
+            InodeKind::Symlink { target: target.to_string() },
+            sec.labels.clone(),
+        );
+        if let InodeKind::Dir { entries } =
+            &mut st.inodes.get_mut(&parent).unwrap().kind
+        {
+            entries.insert(r.name, id);
+        }
+        Ok(())
+    }
+
+    /// Reads the target of a symbolic link (a read of the link inode).
+    ///
+    /// # Errors
+    /// [`OsError::InvalidArgument`] if the path is not a symlink.
+    pub fn readlink(&self, path: &str) -> OsResult<String> {
+        let mut st = self.kernel.state.lock();
+        let sec = Kernel::task_sec(&st, self.tid)?;
+        let r = self.kernel.resolve_nofollow(&mut st, self.tid, path)?;
+        let ino = r.inode.ok_or(OsError::NotFound)?;
+        self.kernel.hook_inode_permission(&mut st, &sec, ino, Access::Read)?;
+        match &st.inodes.get(&ino).unwrap().kind {
+            InodeKind::Symlink { target } => Ok(target.clone()),
+            _ => Err(OsError::InvalidArgument("not a symlink")),
+        }
+    }
+
+    /// Repositions an open regular file's offset.
+    ///
+    /// # Errors
+    /// [`OsError::BadFd`] for pipes/sockets/devices.
+    pub fn seek(&self, fd: Fd, offset: u64) -> OsResult<()> {
+        let mut st = self.kernel.state.lock();
+        let pid = st
+            .tasks
+            .get(&self.tid)
+            .filter(|t| t.alive)
+            .ok_or(OsError::NoSuchTask)?
+            .process;
+        let file =
+            st.processes.get_mut(&pid).unwrap().fds.get_mut(fd).ok_or(OsError::BadFd)?;
+        if file.pipe_end.is_some() || file.socket_end.is_some() {
+            return Err(OsError::BadFd);
+        }
+        file.offset = offset;
+        Ok(())
+    }
+
+    /// Bytes currently queued in a pipe — a *debugging/test* affordance
+    /// (not part of the paper's API; exposing it to untrusted code would
+    /// be a channel).
+    ///
+    /// # Errors
+    /// [`OsError::BadFd`] if `fd` is not a pipe.
+    pub fn pipe_queued_for_test(&self, fd: Fd) -> OsResult<usize> {
+        let st = self.kernel.state.lock();
+        let pid = st.tasks.get(&self.tid).ok_or(OsError::NoSuchTask)?.process;
+        let file = st.processes.get(&pid).unwrap().fds.get(fd).ok_or(OsError::BadFd)?;
+        match &st.inodes.get(&file.inode).ok_or(OsError::BadFd)?.kind {
+            InodeKind::Pipe { buffer } => Ok(buffer.queued()),
+            _ => Err(OsError::BadFd),
+        }
+    }
+
+    // ----- processes, threads, signals -------------------------------------
+
+    /// `fork`: creates a new single-threaded process that copies the
+    /// caller's fd table, cwd, labels — and a *subset* of its
+    /// capabilities (pass `None` to inherit all, §4.4: "when a kernel
+    /// thread forks off a new thread, it can initialize the new thread
+    /// with a subset of its capabilities").
+    ///
+    /// # Errors
+    /// [`OsError::PermissionDenied`] if `caps` is not a subset of the
+    /// caller's capabilities.
+    pub fn fork(&self, caps: Option<CapSet>) -> OsResult<TaskHandle> {
+        let mut st = self.kernel.state.lock();
+        let sec = Kernel::task_sec(&st, self.tid)?;
+        let caps = match caps {
+            Some(c) => {
+                if !c.is_subset_of(&sec.caps) {
+                    return Err(OsError::PermissionDenied(
+                        "child capabilities must be a subset of the parent's",
+                    ));
+                }
+                c
+            }
+            None => (*sec.caps).clone(),
+        };
+        let me = st.tasks.get(&self.tid).unwrap();
+        let (user, my_pid) = (me.user, me.process);
+        let parent = st.processes.get(&my_pid).unwrap();
+        let (cwd, fds, binary) =
+            (parent.cwd, parent.fds.clone_for_fork(), parent.binary.clone());
+        // Duplicated pipe ends gain reader/writer references.
+        let pipe_refs: Vec<(crate::vfs::inode::InodeId, PipeEnd)> = fds
+            .iter()
+            .filter_map(|(_, f)| f.pipe_end.map(|e| (f.inode, e)))
+            .collect();
+        for (ino, end) in pipe_refs {
+            if let Some(inode) = st.inodes.get_mut(&ino) {
+                if let InodeKind::Pipe { buffer } = &mut inode.kind {
+                    match end {
+                        PipeEnd::Read => buffer.add_reader(),
+                        PipeEnd::Write => buffer.add_writer(),
+                    }
+                }
+            }
+        }
+        let tid = Kernel::spawn_process_locked(&mut st, user, cwd, caps);
+        let new_pid = st.tasks.get(&tid).unwrap().process;
+        {
+            let p = st.processes.get_mut(&new_pid).unwrap();
+            p.fds = fds;
+            p.binary = binary;
+        }
+        st.tasks.get_mut(&tid).unwrap().security.labels = sec.labels.clone();
+        Ok(TaskHandle { kernel: Arc::clone(&self.kernel), tid })
+    }
+
+    /// Creates a new *thread* in the caller's process with a subset of
+    /// its capabilities. In an untrusted process the new thread shares
+    /// the caller's labels (and must keep them); in a trusted-VM process
+    /// it may later diverge (§4.1).
+    ///
+    /// # Errors
+    /// [`OsError::PermissionDenied`] on a capability superset.
+    pub fn spawn_thread(&self, caps: Option<CapSet>) -> OsResult<TaskHandle> {
+        let mut st = self.kernel.state.lock();
+        let sec = Kernel::task_sec(&st, self.tid)?;
+        let caps = match caps {
+            Some(c) => {
+                if !c.is_subset_of(&sec.caps) {
+                    return Err(OsError::PermissionDenied(
+                        "thread capabilities must be a subset of the spawner's",
+                    ));
+                }
+                c
+            }
+            None => (*sec.caps).clone(),
+        };
+        let me = st.tasks.get(&self.tid).unwrap();
+        let (user, pid) = (me.user, me.process);
+        let tid = TaskId(st.next_task);
+        st.next_task += 1;
+        st.tasks.insert(
+            tid,
+            crate::task::TaskStruct {
+                id: tid,
+                process: pid,
+                user,
+                security: TaskSec::new(sec.labels.clone(), caps),
+                pending_signals: Default::default(),
+                alive: true,
+            },
+        );
+        st.processes.get_mut(&pid).unwrap().tasks.push(tid);
+        Ok(TaskHandle { kernel: Arc::clone(&self.kernel), tid })
+    }
+
+    /// `exec`: replaces the process image with the named binary file.
+    /// Reading the binary is an information flow file → task, so a task
+    /// cannot exec a binary whose integrity it does not accept — this is
+    /// the plugin-vouching pattern of §3.3.
+    ///
+    /// # Errors
+    /// [`OsError::NotFound`]; flow vetoes.
+    pub fn exec(&self, path: &str) -> OsResult<()> {
+        let mut st = self.kernel.state.lock();
+        let sec = Kernel::task_sec(&st, self.tid)?;
+        let r = self.kernel.resolve(&mut st, self.tid, path)?;
+        let ino = r.inode.ok_or(OsError::NotFound)?;
+        self.kernel.hook_inode_permission(&mut st, &sec, ino, Access::Read)?;
+        let pid = st.tasks.get(&self.tid).unwrap().process;
+        let p = st.processes.get_mut(&pid).unwrap();
+        p.vm_areas.clear();
+        p.next_mmap_page = 0x1000;
+        p.binary = r.name;
+        Ok(())
+    }
+
+    /// Marks the task dead and releases its fds if it was the last task
+    /// of its process.
+    ///
+    /// # Errors
+    /// Fails if already exited.
+    pub fn exit(&self) -> OsResult<()> {
+        let mut st = self.kernel.state.lock();
+        let t = st
+            .tasks
+            .get_mut(&self.tid)
+            .filter(|t| t.alive)
+            .ok_or(OsError::NoSuchTask)?;
+        t.alive = false;
+        let pid = t.process;
+        // Reap: drop the task entry, and the whole process (with its fd
+        // table) once its last task exits, so fork-heavy workloads do
+        // not grow the kernel tables without bound.
+        st.tasks.remove(&self.tid);
+        let p = st.processes.get_mut(&pid).unwrap();
+        p.tasks.retain(|&x| x != self.tid);
+        if p.tasks.is_empty() {
+            let fds: Vec<(crate::vfs::inode::InodeId, PipeEnd)> = p
+                .fds
+                .iter()
+                .filter_map(|(_, f)| f.pipe_end.map(|e| (f.inode, e)))
+                .collect();
+            st.processes.remove(&pid);
+            for (ino, end) in fds {
+                if let Some(inode) = st.inodes.get_mut(&ino) {
+                    if let InodeKind::Pipe { buffer } = &mut inode.kind {
+                        match end {
+                            PipeEnd::Read => buffer.drop_reader(),
+                            PipeEnd::Write => buffer.drop_writer(),
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Sends a signal. Delivery is mediated by the LSM: an illegal flow
+    /// sender → target is **silently dropped** (the sender cannot tell).
+    ///
+    /// # Errors
+    /// [`OsError::NoSuchTask`] only when the target id was never valid.
+    pub fn kill(&self, target: TaskId, sig: Signal) -> OsResult<()> {
+        let mut st = self.kernel.state.lock();
+        let sender = Kernel::task_sec(&st, self.tid)?;
+        let target_sec = match Kernel::task_sec(&st, target) {
+            Ok(s) => s,
+            Err(_) => return Err(OsError::NoSuchTask),
+        };
+        st.hook_calls += 1;
+        if self.kernel.module.task_kill(&sender, &target_sec)
+            == DeliveryVerdict::Deliver
+        {
+            st.tasks.get_mut(&target).unwrap().pending_signals.push_back(sig);
+        }
+        Ok(())
+    }
+
+    /// Dequeues the next pending signal for this task, if any.
+    ///
+    /// # Errors
+    /// Fails if the task has exited.
+    pub fn next_signal(&self) -> OsResult<Option<Signal>> {
+        let mut st = self.kernel.state.lock();
+        let t = st
+            .tasks
+            .get_mut(&self.tid)
+            .filter(|t| t.alive)
+            .ok_or(OsError::NoSuchTask)?;
+        Ok(t.pending_signals.pop_front())
+    }
+
+    /// The user this task runs as.
+    ///
+    /// # Errors
+    /// Fails if the task has exited.
+    pub fn user(&self) -> OsResult<UserId> {
+        let st = self.kernel.state.lock();
+        st.tasks
+            .get(&self.tid)
+            .filter(|t| t.alive)
+            .map(|t| t.user)
+            .ok_or(OsError::NoSuchTask)
+    }
+
+    /// The process this task belongs to.
+    ///
+    /// # Errors
+    /// Fails if the task has exited.
+    pub fn process(&self) -> OsResult<ProcessId> {
+        let st = self.kernel.state.lock();
+        st.tasks
+            .get(&self.tid)
+            .filter(|t| t.alive)
+            .map(|t| t.process)
+            .ok_or(OsError::NoSuchTask)
+    }
+
+    // ----- memory (for the Table 2 microbenchmarks) -------------------------
+
+    /// `mmap`: maps `pages` pages, optionally backed by an open file
+    /// (whose labels the mapping inherits via the `file_mmap` hook).
+    /// Returns the start page number.
+    ///
+    /// # Errors
+    /// [`OsError::BadFd`] for a bad backing fd; hook vetoes.
+    pub fn mmap(&self, pages: u64, backing: Option<Fd>) -> OsResult<u64> {
+        let mut st = self.kernel.state.lock();
+        let sec = Kernel::task_sec(&st, self.tid)?;
+        let pid = st.tasks.get(&self.tid).unwrap().process;
+        let backing_labels = match backing {
+            Some(fd) => {
+                let file = st
+                    .processes
+                    .get(&pid)
+                    .unwrap()
+                    .fds
+                    .get(fd)
+                    .cloned()
+                    .ok_or(OsError::BadFd)?;
+                Some(Kernel::inode_labels(&st, file.inode)?)
+            }
+            None => None,
+        };
+        st.hook_calls += 1;
+        self.kernel.module.file_mmap(&sec, backing_labels.as_ref())?;
+        let p = st.processes.get_mut(&pid).unwrap();
+        let start = p.next_mmap_page;
+        p.next_mmap_page += pages;
+        p.vm_areas.push(VmArea { start, pages, read: true, write: true });
+        Ok(start)
+    }
+
+    /// Unmaps the area starting at `start`.
+    ///
+    /// # Errors
+    /// [`OsError::Fault`] if no such mapping exists.
+    pub fn munmap(&self, start: u64) -> OsResult<()> {
+        let mut st = self.kernel.state.lock();
+        let pid = st
+            .tasks
+            .get(&self.tid)
+            .filter(|t| t.alive)
+            .ok_or(OsError::NoSuchTask)?
+            .process;
+        let p = st.processes.get_mut(&pid).unwrap();
+        let before = p.vm_areas.len();
+        p.vm_areas.retain(|a| a.start != start);
+        if p.vm_areas.len() == before {
+            return Err(OsError::Fault);
+        }
+        Ok(())
+    }
+
+    /// `mprotect`: changes the protection bits of the mapping at `start`.
+    ///
+    /// # Errors
+    /// [`OsError::Fault`] if no such mapping exists.
+    pub fn mprotect(&self, start: u64, read: bool, write: bool) -> OsResult<()> {
+        let mut st = self.kernel.state.lock();
+        let pid = st
+            .tasks
+            .get(&self.tid)
+            .filter(|t| t.alive)
+            .ok_or(OsError::NoSuchTask)?
+            .process;
+        let p = st.processes.get_mut(&pid).unwrap();
+        let area = p
+            .vm_areas
+            .iter_mut()
+            .find(|a| a.start == start)
+            .ok_or(OsError::Fault)?;
+        area.read = read;
+        area.write = write;
+        Ok(())
+    }
+
+    /// Simulates a memory access, running the kernel's fault path when
+    /// the page is unmapped or protection-violating (the "prot fault"
+    /// microbenchmark of Table 2 measures exactly this path).
+    ///
+    /// # Errors
+    /// [`OsError::Fault`] on an illegal access.
+    pub fn page_access(&self, page: u64, is_write: bool) -> OsResult<()> {
+        let st = self.kernel.state.lock();
+        let pid = st
+            .tasks
+            .get(&self.tid)
+            .filter(|t| t.alive)
+            .ok_or(OsError::NoSuchTask)?
+            .process;
+        let p = st.processes.get(&pid).unwrap();
+        for a in &p.vm_areas {
+            if page >= a.start && page < a.start + a.pages {
+                let ok = if is_write { a.write } else { a.read };
+                return if ok { Ok(()) } else { Err(OsError::Fault) };
+            }
+        }
+        Err(OsError::Fault)
+    }
+}
+

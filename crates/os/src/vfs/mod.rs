@@ -1,0 +1,6 @@
+//! The simulated virtual filesystem: inodes, directories, file
+//! descriptors and DIFC pipes.
+
+pub mod file;
+pub mod inode;
+pub mod pipe;

@@ -1,0 +1,185 @@
+//! DIFC pipes (§5.2, "Pipes").
+//!
+//! Laminar mediates IPC over pipes by labeling the inode associated with
+//! the pipe's message buffer. Message delivery is **unreliable**: an
+//! error code due to an incorrect label or a full buffer can leak
+//! information, so undeliverable messages are *silently dropped*. Reads
+//! are **nonblocking**, and readers cannot rely on an explicit EOF when
+//! the writer may change labels — a reader simply sees "no data".
+//!
+//! The buffer also carries capability messages for the
+//! `write_capability` syscall (Fig. 3): capability passing is mediated by
+//! the kernel over the same labeled channel.
+
+use laminar_difc::Capability;
+use std::collections::VecDeque;
+
+/// Default capacity of a pipe buffer in bytes (64 KiB, like Linux).
+pub const PIPE_CAPACITY: usize = 64 * 1024;
+
+/// One in-flight message: either bytes or a kernel-mediated capability.
+#[derive(Debug)]
+pub(crate) enum PipeMsg {
+    Bytes(Vec<u8>),
+    Cap(Capability),
+}
+
+/// The kernel-side message buffer of a pipe inode.
+#[derive(Debug)]
+pub(crate) struct PipeBuffer {
+    msgs: VecDeque<PipeMsg>,
+    bytes_queued: usize,
+    capacity: usize,
+    readers: u32,
+    writers: u32,
+}
+
+impl PipeBuffer {
+    pub(crate) fn new(capacity: usize) -> Self {
+        PipeBuffer {
+            msgs: VecDeque::new(),
+            bytes_queued: 0,
+            capacity,
+            readers: 1,
+            writers: 1,
+        }
+    }
+
+    /// Attempts to enqueue bytes. Returns `true` if the message was
+    /// queued, `false` if it was dropped because the buffer is full —
+    /// callers must NOT surface the distinction to the writer (silent
+    /// drop semantics).
+    pub(crate) fn push_bytes(&mut self, data: &[u8]) -> bool {
+        if self.bytes_queued + data.len() > self.capacity {
+            return false;
+        }
+        self.bytes_queued += data.len();
+        self.msgs.push_back(PipeMsg::Bytes(data.to_vec()));
+        true
+    }
+
+    /// Enqueues a capability message (capabilities are small; they bypass
+    /// the byte budget but still drop when an absurd number is queued).
+    pub(crate) fn push_cap(&mut self, cap: Capability) -> bool {
+        if self.msgs.len() > 4096 {
+            return false;
+        }
+        self.msgs.push_back(PipeMsg::Cap(cap));
+        true
+    }
+
+    /// Nonblocking read of at most `max` bytes. Skips over capability
+    /// messages is not allowed — byte reads only consume byte messages at
+    /// the head; a capability at the head yields "no data" until it is
+    /// claimed with [`Self::pop_cap`].
+    pub(crate) fn pop_bytes(&mut self, max: usize) -> Vec<u8> {
+        let mut out = Vec::new();
+        while out.len() < max {
+            match self.msgs.front_mut() {
+                Some(PipeMsg::Bytes(b)) => {
+                    let take = (max - out.len()).min(b.len());
+                    out.extend_from_slice(&b[..take]);
+                    if take == b.len() {
+                        self.msgs.pop_front();
+                    } else {
+                        b.drain(..take);
+                    }
+                    self.bytes_queued -= take;
+                }
+                _ => break,
+            }
+        }
+        out
+    }
+
+    /// Nonblocking receive of a capability message at the head of the
+    /// queue, if any.
+    pub(crate) fn pop_cap(&mut self) -> Option<Capability> {
+        match self.msgs.front() {
+            Some(PipeMsg::Cap(_)) => match self.msgs.pop_front() {
+                Some(PipeMsg::Cap(c)) => Some(c),
+                _ => unreachable!(),
+            },
+            _ => None,
+        }
+    }
+
+    pub(crate) fn add_reader(&mut self) {
+        self.readers += 1;
+    }
+    pub(crate) fn add_writer(&mut self) {
+        self.writers += 1;
+    }
+    pub(crate) fn drop_reader(&mut self) {
+        self.readers = self.readers.saturating_sub(1);
+    }
+    pub(crate) fn drop_writer(&mut self) {
+        self.writers = self.writers.saturating_sub(1);
+    }
+
+    /// Bytes currently queued.
+    pub(crate) fn queued(&self) -> usize {
+        self.bytes_queued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laminar_difc::Tag;
+
+    #[test]
+    fn bytes_round_trip() {
+        let mut p = PipeBuffer::new(16);
+        assert!(p.push_bytes(b"hello"));
+        assert_eq!(p.pop_bytes(3), b"hel");
+        assert_eq!(p.pop_bytes(10), b"lo");
+        assert_eq!(p.pop_bytes(10), b"");
+        assert_eq!(p.queued(), 0);
+    }
+
+    #[test]
+    fn full_buffer_drops_silently() {
+        let mut p = PipeBuffer::new(4);
+        assert!(p.push_bytes(b"abcd"));
+        // Over capacity: dropped, not partially written.
+        assert!(!p.push_bytes(b"e"));
+        assert_eq!(p.pop_bytes(16), b"abcd");
+    }
+
+    #[test]
+    fn caps_are_ordered_with_bytes() {
+        let mut p = PipeBuffer::new(64);
+        let c = Capability::plus(Tag::from_raw(1));
+        assert!(p.push_bytes(b"x"));
+        assert!(p.push_cap(c));
+        // Byte read stops at the capability boundary only after draining
+        // preceding bytes.
+        assert_eq!(p.pop_bytes(8), b"x");
+        assert_eq!(p.pop_bytes(8), b"");
+        assert_eq!(p.pop_cap(), Some(c));
+        assert_eq!(p.pop_cap(), None);
+    }
+
+    #[test]
+    fn cap_at_head_blocks_byte_reads() {
+        let mut p = PipeBuffer::new(64);
+        let c = Capability::minus(Tag::from_raw(2));
+        assert!(p.push_cap(c));
+        assert!(p.push_bytes(b"later"));
+        assert_eq!(p.pop_bytes(8), b"");
+        assert_eq!(p.pop_cap(), Some(c));
+        assert_eq!(p.pop_bytes(8), b"later");
+    }
+
+    #[test]
+    fn reader_writer_counts() {
+        let mut p = PipeBuffer::new(8);
+        p.add_reader();
+        p.add_writer();
+        p.drop_reader();
+        p.drop_reader();
+        p.drop_reader(); // saturates at zero
+        p.drop_writer();
+    }
+}

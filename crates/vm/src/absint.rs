@@ -1,0 +1,263 @@
+//! Intraprocedural abstract interpretation over the operand stack.
+//!
+//! Both the static verifier (§5.1 local-variable rules) and the
+//! redundant-barrier elimination pass (§5.1's "intraprocedural,
+//! flow-sensitive data-flow analysis") need to know, for every
+//! instruction, *which value* each stack slot holds — specifically
+//! whether it is a copy of a local variable or a freshly allocated
+//! object. This module computes that by a worklist fixpoint over the CFG.
+
+use crate::bytecode::Instr;
+use crate::error::{VmError, VmResult};
+use crate::program::{Function, Program};
+
+/// Abstract value of one stack slot.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub(crate) enum AbsVal {
+    /// Nothing known.
+    Unknown,
+    /// The value currently stored in local slot `n`.
+    Local(u16),
+    /// An object allocated by the instruction at this pc (so definitely
+    /// allocated in this function, on every path reaching here).
+    Fresh(u32),
+}
+
+impl AbsVal {
+    fn join(self, other: AbsVal) -> AbsVal {
+        if self == other {
+            self
+        } else {
+            AbsVal::Unknown
+        }
+    }
+}
+
+/// Result of the analysis: the abstract stack *before* each instruction
+/// (`None` = unreachable).
+pub(crate) struct AbsStacks {
+    pub before: Vec<Option<Vec<AbsVal>>>,
+}
+
+impl AbsStacks {
+    /// The abstract operand at depth `d` from the top of the stack
+    /// before instruction `pc` (`d = 0` is the top).
+    pub(crate) fn operand(&self, pc: usize, d: usize) -> AbsVal {
+        match &self.before[pc] {
+            Some(stack) if stack.len() > d => stack[stack.len() - 1 - d],
+            _ => AbsVal::Unknown,
+        }
+    }
+}
+
+fn call_effect(program: &Program, i: &Instr) -> Option<(usize, usize)> {
+    match i {
+        Instr::Call(f) | Instr::CallSecure(f, _) => {
+            let func = program.functions.get(f.0 as usize)?;
+            Some((func.params as usize, usize::from(func.returns)))
+        }
+        _ => None,
+    }
+}
+
+/// Runs the analysis for `func`.
+///
+/// # Errors
+///
+/// [`VmError::Verify`] on stack underflow, inconsistent stack depths at a
+/// join point, or an out-of-range jump — making this double as the
+/// structural half of bytecode verification.
+pub(crate) fn analyze(program: &Program, func: &Function) -> VmResult<AbsStacks> {
+    let n = func.body.len();
+    let mut before: Vec<Option<Vec<AbsVal>>> = vec![None; n];
+    if n == 0 {
+        return Ok(AbsStacks { before });
+    }
+    before[0] = Some(Vec::new());
+    let mut work = vec![0usize];
+
+    while let Some(pc) = work.pop() {
+        let instr = func.body[pc];
+        let mut stack = before[pc].clone().expect("worklist holds reachable pcs");
+
+        // Apply the transfer function.
+        let (pops, pushes) = call_effect(program, &instr)
+            .unwrap_or_else(|| instr.stack_effect());
+        let (pops, pushes) = match instr {
+            Instr::Return => (usize::from(func.returns), 0),
+            _ => (pops, pushes),
+        };
+        if stack.len() < pops {
+            return Err(VmError::Verify(format!(
+                "stack underflow at {}:{pc} ({instr:?})",
+                func.name
+            )));
+        }
+        let popped: Vec<AbsVal> = stack.split_off(stack.len() - pops);
+
+        match instr {
+            Instr::Load(l) => stack.push(AbsVal::Local(l)),
+            Instr::Dup => {
+                let v = popped[0];
+                stack.push(v);
+                stack.push(v);
+            }
+            Instr::Store(l) => {
+                // The old value of local `l` is gone: any stack slot that
+                // claimed to alias it no longer does.
+                for v in stack.iter_mut() {
+                    if *v == AbsVal::Local(l) {
+                        *v = AbsVal::Unknown;
+                    }
+                }
+            }
+            Instr::NewObject(_)
+            | Instr::NewObjectLabeled(..)
+            | Instr::NewArray
+            | Instr::NewArrayLabeled(_) => stack.push(AbsVal::Fresh(pc as u32)),
+            _ => {
+                for _ in 0..pushes {
+                    stack.push(AbsVal::Unknown);
+                }
+            }
+        }
+
+        // Propagate to successors.
+        let mut succs: Vec<usize> = Vec::with_capacity(2);
+        if let Some(t) = instr.branch_target() {
+            if t as usize >= n {
+                return Err(VmError::Verify(format!(
+                    "jump target {t} out of range in {}",
+                    func.name
+                )));
+            }
+            succs.push(t as usize);
+        }
+        if !instr.is_terminator() {
+            if pc + 1 >= n {
+                return Err(VmError::Verify(format!(
+                    "control flow falls off the end of {}",
+                    func.name
+                )));
+            }
+            succs.push(pc + 1);
+        }
+
+        for s in succs {
+            match &mut before[s] {
+                None => {
+                    before[s] = Some(stack.clone());
+                    work.push(s);
+                }
+                Some(existing) => {
+                    if existing.len() != stack.len() {
+                        return Err(VmError::Verify(format!(
+                            "inconsistent stack depth at {}:{s}",
+                            func.name
+                        )));
+                    }
+                    let mut changed = false;
+                    for (e, v) in existing.iter_mut().zip(stack.iter()) {
+                        let j = e.join(*v);
+                        if j != *e {
+                            *e = j;
+                            changed = true;
+                        }
+                    }
+                    if changed {
+                        work.push(s);
+                    }
+                }
+            }
+        }
+    }
+    Ok(AbsStacks { before })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+
+    fn analyze_named(pb: ProgramBuilder, name: &str) -> VmResult<AbsStacks> {
+        let p = pb.finish()?;
+        let f = p.func_by_name(name).unwrap();
+        analyze(&p, &p.functions[f.0 as usize])
+    }
+
+    #[test]
+    fn tracks_locals_through_straightline_code() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("f", 1, false, 1, |b| {
+            b.load(0).get_field(0).pop().ret();
+        });
+        let abs = analyze_named(pb, "f").unwrap();
+        // Before GetField (pc=1) the top of stack is Local(0).
+        assert_eq!(abs.operand(1, 0), AbsVal::Local(0));
+    }
+
+    #[test]
+    fn fresh_allocations_are_tracked() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", 1);
+        pb.func("f", 0, false, 1, |b| {
+            b.new_object(c).push_int(1).put_field(0).ret();
+        });
+        let abs = analyze_named(pb, "f").unwrap();
+        // Before PutField (pc=2): stack is [Fresh, Unknown]; base at depth 1.
+        assert_eq!(abs.operand(2, 1), AbsVal::Fresh(0));
+    }
+
+    #[test]
+    fn store_invalidates_stack_aliases() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("f", 0, false, 2, |b| {
+            // local1 pushed twice, then local1 reassigned: remaining
+            // stack copy must degrade to Unknown.
+            b.load(1).load(1).store(1).get_field(0).pop().ret();
+        });
+        let abs = analyze_named(pb, "f").unwrap();
+        assert_eq!(abs.operand(3, 0), AbsVal::Unknown);
+    }
+
+    #[test]
+    fn join_degrades_disagreeing_slots() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("f", 1, false, 3, |b| {
+            let els = b.new_label();
+            let done = b.new_label();
+            b.load(0).jump_if_true(els);
+            b.load(1).jump(done);
+            b.bind(els);
+            b.load(2);
+            b.bind(done);
+            // Merge point: one path pushed Local(1), other Local(2).
+            b.get_field(0).pop().ret();
+        });
+        let abs = analyze_named(pb, "f").unwrap();
+        let merge_pc = 5; // the GetField
+        assert_eq!(abs.operand(merge_pc, 0), AbsVal::Unknown);
+    }
+
+    #[test]
+    fn underflow_is_rejected() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("f", 0, false, 0, |b| {
+            b.pop().ret();
+        });
+        assert!(matches!(pb.finish(), Err(VmError::Verify(_))));
+    }
+
+    #[test]
+    fn inconsistent_depths_rejected() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("f", 1, false, 1, |b| {
+            let t = b.new_label();
+            b.load(0).jump_if_true(t);
+            b.push_int(1); // one path pushes
+            b.bind(t); // other path arrives with empty stack
+            b.nop().ret();
+        });
+        assert!(matches!(pb.finish(), Err(VmError::Verify(_))));
+    }
+}

@@ -1,0 +1,858 @@
+//! A textual assembly front end for MiniVM programs.
+//!
+//! The paper's toolchain accepts programs from an *untrusted* compiler
+//! (`javac`) and re-verifies them in the VM. This module provides the
+//! equivalent untrusted front end for the MiniVM: a small assembly
+//! language that lowers to [`Program`] through the ordinary
+//! [`ProgramBuilder`] + verifier pipeline — nothing the assembler emits
+//! is trusted.
+//!
+//! # Syntax
+//!
+//! ```text
+//! ; comments run to end of line
+//! .class Point 2                 ; name, field count
+//! .pair  P0 s=0,1 i=2            ; label literal over tag indices
+//! .pair  EMPTY                   ; {S(), I()}
+//! .static counter                ; unlabeled static
+//! .lstatic secret P0             ; labeled static
+//! .string PATH "data.bin"        ; interned OS path
+//! .region R0 P0 caps=0+,1- catch=onfail
+//!
+//! .func main 1 -> 1 locals=3     ; params=1, returns, 3 local slots
+//!     load 0
+//!     push 2
+//!     mul
+//!     ret
+//! .end
+//!
+//! .regionfn body 2 locals=3      ; a security-region body (void)
+//!   head:                        ; jump label
+//!     jump head                  ; (don't actually do this)
+//! .end
+//! ```
+//!
+//! Instruction mnemonics: `push <int>`, `pushb <true|false>`,
+//! `pushnull`, `pop`, `dup`, `load/store <n>`, `getfield/putfield <n>`,
+//! `new <class>`, `newl <class> <pair>`, `newarr`, `newarrl <pair>`,
+//! `aload`, `astore`, `arraylen`, `getstatic/putstatic <name>`,
+//! `add sub mul div mod neg not and or eq lt le`,
+//! `jump/jt/jf <label>`, `call <func>`, `calls <func> <region>`,
+//! `ret`, `copylabel <pair>`, `throw`, `oswrite/osread <string>`, `nop`.
+
+use crate::bytecode::{FuncId, PairSpecId, RegionSpecId, StaticId, StrId, TagIdx};
+use crate::error::{VmError, VmResult};
+use crate::heap::ClassId;
+use crate::program::{Program, ProgramBuilder};
+use laminar_difc::CapKind;
+use std::collections::HashMap;
+
+/// Assembles MiniVM assembly text into a verified [`Program`].
+///
+/// # Errors
+///
+/// [`VmError::Verify`] with a line number for syntax errors, undefined
+/// symbols, or any downstream verifier rejection.
+pub fn assemble(src: &str) -> VmResult<Program> {
+    Assembler::new(src).run()
+}
+
+#[derive(Clone, Debug)]
+struct FuncSrc {
+    name: String,
+    params: u16,
+    returns: bool,
+    locals: u16,
+    region: bool,
+    /// (line number, text) of each body line.
+    body: Vec<(usize, String)>,
+}
+
+struct Assembler<'s> {
+    src: &'s str,
+    classes: HashMap<String, ClassId>,
+    pairs: HashMap<String, PairSpecId>,
+    statics: HashMap<String, StaticId>,
+    strings: HashMap<String, StrId>,
+    regions: HashMap<String, RegionSpecId>,
+    funcs: HashMap<String, FuncId>,
+}
+
+fn err(line: usize, msg: impl Into<String>) -> VmError {
+    VmError::Verify(format!("asm line {line}: {}", msg.into()))
+}
+
+fn parse_u16(line: usize, tok: &str, what: &str) -> VmResult<u16> {
+    tok.parse().map_err(|_| err(line, format!("bad {what}: {tok}")))
+}
+
+fn parse_i64(line: usize, tok: &str) -> VmResult<i64> {
+    tok.parse().map_err(|_| err(line, format!("bad integer: {tok}")))
+}
+
+/// `s=0,1` / `i=2` tag lists.
+fn parse_tag_list(line: usize, spec: &str) -> VmResult<Vec<TagIdx>> {
+    if spec.is_empty() {
+        return Ok(Vec::new());
+    }
+    spec.split(',')
+        .map(|t| parse_u16(line, t.trim(), "tag index"))
+        .collect()
+}
+
+impl<'s> Assembler<'s> {
+    fn new(src: &'s str) -> Self {
+        Assembler {
+            src,
+            classes: HashMap::new(),
+            pairs: HashMap::new(),
+            statics: HashMap::new(),
+            strings: HashMap::new(),
+            regions: HashMap::new(),
+            funcs: HashMap::new(),
+        }
+    }
+
+    fn run(mut self) -> VmResult<Program> {
+        let mut pb = ProgramBuilder::new();
+        let mut funcs: Vec<FuncSrc> = Vec::new();
+        let mut current: Option<FuncSrc> = None;
+        // Region directives may reference functions (catch blocks) that
+        // appear later; buffer them for a second pass.
+        let mut pending_regions: Vec<(usize, String)> = Vec::new();
+
+        for (lineno, raw) in self.src.lines().enumerate() {
+            let line = lineno + 1;
+            let text = raw.split(';').next().unwrap_or("").trim();
+            if text.is_empty() {
+                continue;
+            }
+            if let Some(f) = &mut current {
+                if text == ".end" {
+                    funcs.push(current.take().expect("in function"));
+                } else {
+                    f.body.push((line, text.to_string()));
+                }
+                continue;
+            }
+            let mut toks = text.split_whitespace();
+            let head = toks.next().unwrap();
+            match head {
+                ".class" => {
+                    let name = toks
+                        .next()
+                        .ok_or_else(|| err(line, "expected class name"))?;
+                    let n = parse_u16(
+                        line,
+                        toks.next().ok_or_else(|| err(line, "expected field count"))?,
+                        "field count",
+                    )?;
+                    let id = pb.add_class(name, n);
+                    self.classes.insert(name.to_string(), id);
+                }
+                ".pair" => {
+                    let name = toks
+                        .next()
+                        .ok_or_else(|| err(line, "expected pair name"))?;
+                    let mut secrecy = Vec::new();
+                    let mut integrity = Vec::new();
+                    for t in toks {
+                        if let Some(rest) = t.strip_prefix("s=") {
+                            secrecy = parse_tag_list(line, rest)?;
+                        } else if let Some(rest) = t.strip_prefix("i=") {
+                            integrity = parse_tag_list(line, rest)?;
+                        } else {
+                            return Err(err(line, format!("unexpected token {t}")));
+                        }
+                    }
+                    let id = pb.add_pair_spec(&secrecy, &integrity);
+                    self.pairs.insert(name.to_string(), id);
+                }
+                ".static" => {
+                    let name = toks
+                        .next()
+                        .ok_or_else(|| err(line, "expected static name"))?;
+                    let id = pb.add_static(name);
+                    self.statics.insert(name.to_string(), id);
+                }
+                ".lstatic" => {
+                    let name = toks
+                        .next()
+                        .ok_or_else(|| err(line, "expected static name"))?;
+                    let pair = self.pair(line, toks.next())?;
+                    let id = pb.add_static_labeled(name, pair);
+                    self.statics.insert(name.to_string(), id);
+                }
+                ".string" => {
+                    let name = toks
+                        .next()
+                        .ok_or_else(|| err(line, "expected string name"))?;
+                    let rest = text
+                        .splitn(3, char::is_whitespace)
+                        .nth(2)
+                        .unwrap_or("")
+                        .trim();
+                    let value = rest
+                        .strip_prefix('"')
+                        .and_then(|r| r.strip_suffix('"'))
+                        .ok_or_else(|| err(line, "expected quoted string value"))?;
+                    let id = pb.add_string(value);
+                    self.strings.insert(name.to_string(), id);
+                }
+                ".region" => {
+                    pending_regions.push((line, text.to_string()));
+                }
+                ".func" | ".regionfn" => {
+                    current = Some(self.parse_func_header(line, text)?);
+                }
+                other => return Err(err(line, format!("unknown directive {other}"))),
+            }
+        }
+        if let Some(f) = current {
+            return Err(err(0, format!("function {} missing .end", f.name)));
+        }
+
+        // Declare every function so bodies and regions may reference any.
+        for f in &funcs {
+            let id = if f.region {
+                pb.declare_region(&f.name, f.params)
+            } else {
+                pb.declare_func(&f.name, f.params, f.returns)
+            };
+            self.funcs.insert(f.name.clone(), id);
+        }
+        // Region specs (may name catch functions).
+        for (line, text) in pending_regions {
+            self.parse_region(&mut pb, line, &text)?;
+        }
+        // Bodies.
+        for f in funcs {
+            let id = self.funcs[&f.name];
+            let result = self.emit_body(&mut pb, id, &f);
+            result?;
+        }
+        pb.finish()
+    }
+
+    fn parse_func_header(&self, line: usize, text: &str) -> VmResult<FuncSrc> {
+        let mut toks = text.split_whitespace();
+        let head = toks.next().unwrap();
+        let region = head == ".regionfn";
+        let name = toks
+            .next()
+            .ok_or_else(|| err(line, "expected function name"))?
+            .to_string();
+        let params = parse_u16(
+            line,
+            toks.next().ok_or_else(|| err(line, "expected param count"))?,
+            "param count",
+        )?;
+        let mut returns = false;
+        let mut locals = params;
+        for t in toks.by_ref() {
+            match t {
+                "->" => {
+                    // next token is 0/1
+                }
+                "0" => returns = false,
+                "1" => returns = true,
+                other => {
+                    if let Some(rest) = other.strip_prefix("locals=") {
+                        locals = parse_u16(line, rest, "locals")?;
+                    } else {
+                        return Err(err(line, format!("unexpected token {other}")));
+                    }
+                }
+            }
+        }
+        if region && returns {
+            return Err(err(line, "region functions must not return a value"));
+        }
+        Ok(FuncSrc { name, params, returns, locals: locals.max(params), region, body: Vec::new() })
+    }
+
+    fn parse_region(
+        &mut self,
+        pb: &mut ProgramBuilder,
+        line: usize,
+        text: &str,
+    ) -> VmResult<()> {
+        let mut toks = text.split_whitespace();
+        toks.next(); // .region
+        let name = toks
+            .next()
+            .ok_or_else(|| err(line, "expected region name"))?;
+        let pair = self.pair(line, toks.next())?;
+        let mut caps: Vec<(TagIdx, CapKind)> = Vec::new();
+        let mut catch: Option<FuncId> = None;
+        for t in toks {
+            if let Some(rest) = t.strip_prefix("caps=") {
+                for c in rest.split(',').filter(|c| !c.is_empty()) {
+                    let (idx, kind) = if let Some(i) = c.strip_suffix('+') {
+                        (i, CapKind::Plus)
+                    } else if let Some(i) = c.strip_suffix('-') {
+                        (i, CapKind::Minus)
+                    } else {
+                        return Err(err(line, format!("bad capability {c} (want N+ or N-)")));
+                    };
+                    caps.push((parse_u16(line, idx, "tag index")?, kind));
+                }
+            } else if let Some(rest) = t.strip_prefix("catch=") {
+                catch = Some(self.func(line, rest)?);
+            } else {
+                return Err(err(line, format!("unexpected token {t}")));
+            }
+        }
+        let id = pb.add_region_spec(pair, &caps, catch);
+        self.regions.insert(name.to_string(), id);
+        Ok(())
+    }
+
+    fn emit_body(
+        &self,
+        pb: &mut ProgramBuilder,
+        id: FuncId,
+        f: &FuncSrc,
+    ) -> VmResult<()> {
+        // Pre-scan for labels (a token ending in ':' on its own line).
+        let mut result: VmResult<()> = Ok(());
+        pb.define_func(id, f.locals, |b| {
+            let mut labels = HashMap::new();
+            for (line, text) in &f.body {
+                if let Some(name) = text.strip_suffix(':') {
+                    if labels.insert(name.trim().to_string(), b.new_label()).is_some() {
+                        result = Err(err(*line, format!("duplicate label {name}")));
+                        return;
+                    }
+                }
+            }
+            for (line, text) in &f.body {
+                if let Some(name) = text.strip_suffix(':') {
+                    b.bind(labels[name.trim()]);
+                    continue;
+                }
+                if let Err(e) = self.emit_instr(b, &labels, *line, text) {
+                    result = Err(e);
+                    return;
+                }
+            }
+        });
+        result
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn emit_instr(
+        &self,
+        b: &mut crate::program::FunctionBuilder,
+        labels: &HashMap<String, crate::program::CodeLabel>,
+        line: usize,
+        text: &str,
+    ) -> VmResult<()> {
+        let mut toks = text.split_whitespace();
+        let op = toks.next().unwrap();
+        let mut arg = || -> VmResult<&str> {
+            toks.next().ok_or_else(|| err(line, format!("{op}: missing operand")))
+        };
+        let label = |labels: &HashMap<String, crate::program::CodeLabel>,
+                     name: &str|
+         -> VmResult<crate::program::CodeLabel> {
+            labels
+                .get(name)
+                .copied()
+                .ok_or_else(|| err(line, format!("undefined label {name}")))
+        };
+        match op {
+            "push" => {
+                let v = parse_i64(line, arg()?)?;
+                b.push_int(v);
+            }
+            "pushb" => {
+                let v = match arg()? {
+                    "true" => true,
+                    "false" => false,
+                    other => return Err(err(line, format!("bad bool {other}"))),
+                };
+                b.push_bool(v);
+            }
+            "pushnull" => {
+                b.push_null();
+            }
+            "pop" => {
+                b.pop();
+            }
+            "dup" => {
+                b.dup();
+            }
+            "load" => {
+                let n = parse_u16(line, arg()?, "local")?;
+                b.load(n);
+            }
+            "store" => {
+                let n = parse_u16(line, arg()?, "local")?;
+                b.store(n);
+            }
+            "getfield" => {
+                let n = parse_u16(line, arg()?, "field")?;
+                b.get_field(n);
+            }
+            "putfield" => {
+                let n = parse_u16(line, arg()?, "field")?;
+                b.put_field(n);
+            }
+            "new" => {
+                let c = self.class(line, Some(arg()?))?;
+                b.new_object(c);
+            }
+            "newl" => {
+                let c = self.class(line, Some(arg()?))?;
+                let p = self.pair(line, Some(arg()?))?;
+                b.new_object_labeled(c, p);
+            }
+            "newarr" => {
+                b.new_array();
+            }
+            "newarrl" => {
+                let p = self.pair(line, Some(arg()?))?;
+                b.new_array_labeled(p);
+            }
+            "aload" => {
+                b.aload();
+            }
+            "astore" => {
+                b.astore();
+            }
+            "arraylen" => {
+                b.array_len();
+            }
+            "getstatic" => {
+                let s = self.static_(line, arg()?)?;
+                b.get_static(s);
+            }
+            "putstatic" => {
+                let s = self.static_(line, arg()?)?;
+                b.put_static(s);
+            }
+            "add" => {
+                b.add();
+            }
+            "sub" => {
+                b.sub();
+            }
+            "mul" => {
+                b.mul();
+            }
+            "div" => {
+                b.div();
+            }
+            "mod" => {
+                b.modulo();
+            }
+            "neg" => {
+                b.neg();
+            }
+            "not" => {
+                b.not();
+            }
+            "and" => {
+                b.and();
+            }
+            "or" => {
+                b.or();
+            }
+            "eq" => {
+                b.cmp_eq();
+            }
+            "lt" => {
+                b.cmp_lt();
+            }
+            "le" => {
+                b.cmp_le();
+            }
+            "jump" => {
+                let l = label(labels, arg()?)?;
+                b.jump(l);
+            }
+            "jt" => {
+                let l = label(labels, arg()?)?;
+                b.jump_if_true(l);
+            }
+            "jf" => {
+                let l = label(labels, arg()?)?;
+                b.jump_if_false(l);
+            }
+            "call" => {
+                let f = self.func(line, arg()?)?;
+                b.call(f);
+            }
+            "calls" => {
+                let f = self.func(line, arg()?)?;
+                let r = self.region_spec(line, arg()?)?;
+                b.call_secure(f, r);
+            }
+            "ret" => {
+                b.ret();
+            }
+            "copylabel" => {
+                let p = self.pair(line, Some(arg()?))?;
+                b.copy_and_label(p);
+            }
+            "throw" => {
+                b.throw();
+            }
+            "oswrite" => {
+                let s = self.string(line, arg()?)?;
+                b.os_write_byte(s);
+            }
+            "osread" => {
+                let s = self.string(line, arg()?)?;
+                b.os_read_byte(s);
+            }
+            "nop" => {
+                b.nop();
+            }
+            other => return Err(err(line, format!("unknown instruction {other}"))),
+        }
+        Ok(())
+    }
+
+    fn class(&self, line: usize, name: Option<&str>) -> VmResult<ClassId> {
+        let name = name.ok_or_else(|| err(line, "expected class name"))?;
+        self.classes
+            .get(name)
+            .copied()
+            .ok_or_else(|| err(line, format!("undefined class {name}")))
+    }
+
+    fn pair(&self, line: usize, name: Option<&str>) -> VmResult<PairSpecId> {
+        let name = name.ok_or_else(|| err(line, "expected pair name"))?;
+        self.pairs
+            .get(name)
+            .copied()
+            .ok_or_else(|| err(line, format!("undefined pair {name}")))
+    }
+
+    fn static_(&self, line: usize, name: &str) -> VmResult<StaticId> {
+        self.statics
+            .get(name)
+            .copied()
+            .ok_or_else(|| err(line, format!("undefined static {name}")))
+    }
+
+    fn string(&self, line: usize, name: &str) -> VmResult<StrId> {
+        self.strings
+            .get(name)
+            .copied()
+            .ok_or_else(|| err(line, format!("undefined string {name}")))
+    }
+
+    fn func(&self, line: usize, name: &str) -> VmResult<FuncId> {
+        self.funcs
+            .get(name)
+            .copied()
+            .ok_or_else(|| err(line, format!("undefined function {name}")))
+    }
+
+    fn region_spec(&self, line: usize, name: &str) -> VmResult<RegionSpecId> {
+        self.regions
+            .get(name)
+            .copied()
+            .ok_or_else(|| err(line, format!("undefined region {name}")))
+    }
+}
+
+/// Renders a program back to (approximate) assembly text, for debugging
+/// and golden tests. Labels are synthesised as `Ln`.
+#[must_use]
+pub fn disassemble(program: &Program) -> String {
+    use crate::bytecode::Instr;
+    let mut out = String::new();
+    for (i, c) in program.classes.iter().enumerate() {
+        out.push_str(&format!(".class {} {}  ; #{i}\n", c.name, c.nfields));
+    }
+    for (i, p) in program.pair_specs.iter().enumerate() {
+        let s: Vec<String> = p.secrecy.iter().map(u16::to_string).collect();
+        let int: Vec<String> = p.integrity.iter().map(u16::to_string).collect();
+        out.push_str(&format!(
+            ".pair P{i} s={} i={}\n",
+            s.join(","),
+            int.join(",")
+        ));
+    }
+    for st in &program.statics {
+        match st.labels {
+            Some(p) => out.push_str(&format!(".lstatic {} P{}\n", st.name, p.0)),
+            None => out.push_str(&format!(".static {}\n", st.name)),
+        }
+    }
+    for (i, s) in program.strings.iter().enumerate() {
+        out.push_str(&format!(".string S{i} \"{s}\"\n"));
+    }
+    for (i, r) in program.region_specs.iter().enumerate() {
+        let caps: Vec<String> = r
+            .caps
+            .iter()
+            .map(|(t, k)| {
+                format!("{t}{}", if *k == CapKind::Plus { "+" } else { "-" })
+            })
+            .collect();
+        let catch = r
+            .catch
+            .map(|f| format!(" catch={}", program.functions[f.0 as usize].name))
+            .unwrap_or_default();
+        out.push_str(&format!(
+            ".region R{i} P{} caps={}{catch}\n",
+            r.pair.0,
+            caps.join(",")
+        ));
+    }
+    for f in &program.functions {
+        let head = if f.region { ".regionfn" } else { ".func" };
+        let ret = if f.returns { " -> 1" } else { "" };
+        out.push_str(&format!(
+            "{head} {} {}{} locals={}\n",
+            f.name, f.params, ret, f.locals
+        ));
+        // Collect jump targets for label synthesis.
+        let mut targets: Vec<u32> =
+            f.body.iter().filter_map(Instr::branch_target).collect();
+        targets.sort_unstable();
+        targets.dedup();
+        let label_of = |pc: u32| format!("L{}", targets.binary_search(&pc).unwrap());
+        for (pc, instr) in f.body.iter().enumerate() {
+            if targets.binary_search(&(pc as u32)).is_ok() {
+                out.push_str(&format!("  {}:\n", label_of(pc as u32)));
+            }
+            let line = match instr {
+                Instr::PushInt(v) => format!("push {v}"),
+                Instr::PushBool(v) => format!("pushb {v}"),
+                Instr::PushNull => "pushnull".into(),
+                Instr::Pop => "pop".into(),
+                Instr::Dup => "dup".into(),
+                Instr::Load(n) => format!("load {n}"),
+                Instr::Store(n) => format!("store {n}"),
+                Instr::GetField(n) => format!("getfield {n}"),
+                Instr::PutField(n) => format!("putfield {n}"),
+                Instr::NewObject(c) => {
+                    format!("new {}", program.classes[c.0 as usize].name)
+                }
+                Instr::NewObjectLabeled(c, p) => {
+                    format!("newl {} P{}", program.classes[c.0 as usize].name, p.0)
+                }
+                Instr::NewArray => "newarr".into(),
+                Instr::NewArrayLabeled(p) => format!("newarrl P{}", p.0),
+                Instr::ALoad => "aload".into(),
+                Instr::AStore => "astore".into(),
+                Instr::ArrayLen => "arraylen".into(),
+                Instr::GetStatic(s) => {
+                    format!("getstatic {}", program.statics[s.0 as usize].name)
+                }
+                Instr::PutStatic(s) => {
+                    format!("putstatic {}", program.statics[s.0 as usize].name)
+                }
+                Instr::Add => "add".into(),
+                Instr::Sub => "sub".into(),
+                Instr::Mul => "mul".into(),
+                Instr::Div => "div".into(),
+                Instr::Mod => "mod".into(),
+                Instr::Neg => "neg".into(),
+                Instr::Not => "not".into(),
+                Instr::And => "and".into(),
+                Instr::Or => "or".into(),
+                Instr::CmpEq => "eq".into(),
+                Instr::CmpLt => "lt".into(),
+                Instr::CmpLe => "le".into(),
+                Instr::Jump(t) => format!("jump {}", label_of(*t)),
+                Instr::JumpIfTrue(t) => format!("jt {}", label_of(*t)),
+                Instr::JumpIfFalse(t) => format!("jf {}", label_of(*t)),
+                Instr::Call(f2) => {
+                    format!("call {}", program.functions[f2.0 as usize].name)
+                }
+                Instr::CallSecure(f2, r) => format!(
+                    "calls {} R{}",
+                    program.functions[f2.0 as usize].name,
+                    r.0
+                ),
+                Instr::Return => "ret".into(),
+                Instr::CopyAndLabel(p) => format!("copylabel P{}", p.0),
+                Instr::Throw => "throw".into(),
+                Instr::OsWriteByte(s) => format!("oswrite S{}", s.0),
+                Instr::OsReadByte(s) => format!("osread S{}", s.0),
+                Instr::Nop => "nop".into(),
+            };
+            out.push_str(&format!("    {line}\n"));
+        }
+        out.push_str(".end\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::BarrierMode;
+    use crate::interp::Vm;
+    use crate::value::Value;
+
+    #[test]
+    fn assembles_and_runs_arithmetic() {
+        let program = assemble(
+            r"
+            .func main 1 -> 1 locals=2
+                load 0
+                push 2
+                mul
+                push 1
+                add
+                ret
+            .end
+            ",
+        )
+        .unwrap();
+        let mut vm = Vm::new(program, vec![], BarrierMode::Dynamic);
+        assert_eq!(
+            vm.call_by_name("main", &[Value::Int(20)]).unwrap(),
+            Some(Value::Int(41))
+        );
+    }
+
+    #[test]
+    fn labels_and_branches() {
+        let program = assemble(
+            r"
+            ; abs(x)
+            .func abs 1 -> 1 locals=1
+                load 0
+                push 0
+                lt
+                jf nonneg
+                load 0
+                neg
+                ret
+              nonneg:
+                load 0
+                ret
+            .end
+            ",
+        )
+        .unwrap();
+        let mut vm = Vm::new(program, vec![], BarrierMode::Static);
+        assert_eq!(
+            vm.call_by_name("abs", &[Value::Int(-5)]).unwrap(),
+            Some(Value::Int(5))
+        );
+        assert_eq!(
+            vm.call_by_name("abs", &[Value::Int(7)]).unwrap(),
+            Some(Value::Int(7))
+        );
+    }
+
+    #[test]
+    fn regions_classes_and_pairs() {
+        let program = assemble(
+            r"
+            .class Cell 1
+            .pair SECRET s=0
+            .pair EMPTY
+            .region R SECRET caps=0+,0-
+            .regionfn fill 1 locals=1
+                load 0
+                push 42
+                putfield 0
+                ret
+            .end
+            .func main 1 locals=1
+                load 0
+                calls fill R
+                ret
+            .end
+            ",
+        )
+        .unwrap();
+        assert_eq!(program.tags_used, 1);
+        use laminar_difc::{CapSet, SecPair, Tag};
+        let t = Tag::from_raw(5);
+        let mut vm = Vm::new(program, vec![t], BarrierMode::Dynamic);
+        let mut caps = CapSet::new();
+        caps.grant_both(t);
+        vm.set_thread_caps(caps);
+        let obj = vm
+            .host_alloc_object(
+                crate::heap::ClassId(0),
+                Some(SecPair::secrecy_only(laminar_difc::Label::singleton(t))),
+            )
+            .unwrap();
+        vm.call_by_name("main", &[Value::Ref(obj)]).unwrap();
+        assert_eq!(vm.host_get_field(obj, 0).unwrap(), Value::Int(42));
+    }
+
+    #[test]
+    fn error_messages_carry_line_numbers() {
+        let e = assemble(".func f 0 locals=0\n    bogus\n.end\n").unwrap_err();
+        assert!(e.to_string().contains("line 2"), "{e}");
+        let e = assemble(".func f 0 locals=0\n    jump nowhere\n.end\n").unwrap_err();
+        assert!(e.to_string().contains("undefined label"), "{e}");
+        let e = assemble(".bogus x\n").unwrap_err();
+        assert!(e.to_string().contains("unknown directive"), "{e}");
+    }
+
+    #[test]
+    fn assembled_programs_are_verified() {
+        // Stack underflow is caught by the verifier behind the assembler.
+        let e = assemble(".func f 0 locals=0\n    pop\n    ret\n.end\n").unwrap_err();
+        assert!(matches!(e, VmError::Verify(_)));
+    }
+
+    #[test]
+    fn round_trip_through_disassembler() {
+        let src = r"
+            .class Node 2
+            .static total
+            .func main 1 -> 1 locals=2
+                push 0
+                store 1
+              head:
+                load 0
+                push 0
+                le
+                jt done
+                load 1
+                load 0
+                add
+                store 1
+                load 0
+                push 1
+                sub
+                store 0
+                jump head
+              done:
+                load 1
+                ret
+            .end
+            ";
+        let p1 = assemble(src).unwrap();
+        let text = disassemble(&p1);
+        let p2 = assemble(&text).unwrap();
+        // Same behaviour after a round trip.
+        let run = |p: Program| {
+            let mut vm = Vm::new(p, vec![], BarrierMode::Static);
+            vm.call_by_name("main", &[Value::Int(10)]).unwrap()
+        };
+        assert_eq!(run(p1), run(p2));
+    }
+
+    #[test]
+    fn labeled_static_directive() {
+        let program = assemble(
+            r"
+            .pair SECRET s=0
+            .lstatic hidden SECRET
+            .func main 0 locals=0
+                nop
+                ret
+            .end
+            ",
+        )
+        .unwrap();
+        assert!(program.statics[0].labels.is_some());
+    }
+}

@@ -1,0 +1,228 @@
+//! The MiniVM bytecode: a small, stack-based, Java-flavoured instruction
+//! set — enough surface (fields, arrays, statics, calls, exceptions,
+//! security regions) to reproduce every barrier-placement decision of
+//! Laminar's modified Jikes RVM (§5.1).
+
+use crate::heap::ClassId;
+use laminar_difc::CapKind;
+
+/// Function identifier (index into the program's function table).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct FuncId(pub u32);
+
+/// Static-variable identifier.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct StaticId(pub u32);
+
+/// Identifier of a label-pair specification (secrecy + integrity tag
+/// index lists).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct PairSpecId(pub u32);
+
+/// Identifier of a security-region specification.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct RegionSpecId(pub u32);
+
+/// Identifier of an interned string constant (used for OS paths).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct StrId(pub u32);
+
+/// Index into the VM's runtime tag table. Programs reference tags
+/// symbolically; the embedder supplies the actual [`laminar_difc::Tag`]s
+/// when constructing the VM (tags are runtime values minted by
+/// `alloc_tag`, not compile-time constants).
+pub type TagIdx = u16;
+
+/// A `{S(..), I(..)}` literal in program text, naming tags by index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PairSpec {
+    /// Secrecy tag indices.
+    pub secrecy: Vec<TagIdx>,
+    /// Integrity tag indices.
+    pub integrity: Vec<TagIdx>,
+}
+
+/// The parameters of a `secure(..) {..} catch {..}` block: labels, the
+/// capability subset the region retains, and the catch handler.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegionSpec {
+    /// The region's labels.
+    pub pair: PairSpecId,
+    /// Capabilities the region runs with — rule (2) of §4.3.2 requires
+    /// this to be a subset of the entering thread's capabilities.
+    pub caps: Vec<(TagIdx, CapKind)>,
+    /// The required catch block (§4.3.3). `None` models an empty catch.
+    pub catch: Option<FuncId>,
+}
+
+/// One bytecode instruction.
+///
+/// Operand-stack conventions (top is rightmost):
+/// `GetField`: `[obj] → [val]` · `PutField`: `[obj, val] → []` ·
+/// `ALoad`: `[arr, idx] → [val]` · `AStore`: `[arr, idx, val] → []` ·
+/// `NewArray`: `[len] → [arr]` · binary arithmetic: `[a, b] → [a ⊕ b]`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Instr {
+    /// Push an integer constant.
+    PushInt(i64),
+    /// Push a boolean constant.
+    PushBool(bool),
+    /// Push null.
+    PushNull,
+    /// Discard the top of stack.
+    Pop,
+    /// Duplicate the top of stack.
+    Dup,
+    /// Push local slot `n`.
+    Load(u16),
+    /// Pop into local slot `n`.
+    Store(u16),
+    /// Read field `n` of the object on top.
+    GetField(u16),
+    /// Write field `n`: pops value then object.
+    PutField(u16),
+    /// Allocate an instance of a class (labels: current region's, or
+    /// none outside a region — §5.1 allocation-time labeling).
+    NewObject(ClassId),
+    /// Allocate with explicit labels (must conform to DIFC rules).
+    NewObjectLabeled(ClassId, PairSpecId),
+    /// Allocate an array; length popped from the stack.
+    NewArray,
+    /// Allocate an array with explicit labels.
+    NewArrayLabeled(PairSpecId),
+    /// Array element read.
+    ALoad,
+    /// Array element write.
+    AStore,
+    /// Push the length of the array on top.
+    ArrayLen,
+    /// Read a static variable.
+    GetStatic(StaticId),
+    /// Write a static variable.
+    PutStatic(StaticId),
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Integer division.
+    Div,
+    /// Integer remainder.
+    Mod,
+    /// Integer negation.
+    Neg,
+    /// Boolean not.
+    Not,
+    /// Boolean and.
+    And,
+    /// Boolean or.
+    Or,
+    /// Equality on ints/bools/refs.
+    CmpEq,
+    /// `<` on ints.
+    CmpLt,
+    /// `<=` on ints.
+    CmpLe,
+    /// Unconditional jump to instruction index.
+    Jump(u32),
+    /// Pop a bool; jump if true.
+    JumpIfTrue(u32),
+    /// Pop a bool; jump if false.
+    JumpIfFalse(u32),
+    /// Call an ordinary function; pops its arguments (last on top).
+    Call(FuncId),
+    /// Enter a security region: call a region function under a
+    /// [`RegionSpec`]. Exceptions inside are handled by the spec's catch
+    /// and then suppressed (§4.3.3); execution always continues after.
+    CallSecure(FuncId, RegionSpecId),
+    /// Return from the current function (pops the result if the function
+    /// declares one).
+    Return,
+    /// `Laminar.copyAndLabel`: pops an object, pushes a copy carrying
+    /// the spec's labels; legal iff the label-change rule passes with the
+    /// current region's capabilities.
+    CopyAndLabel(PairSpecId),
+    /// Throw an application exception; pops an integer code.
+    Throw,
+    /// Bridge: write one byte (popped) to the named OS file. This is the
+    /// syscall that triggers the lazy VM→OS label synchronisation (§4.4).
+    OsWriteByte(StrId),
+    /// Bridge: read one byte from the named OS file; pushes it, or -1.
+    OsReadByte(StrId),
+    /// No operation.
+    Nop,
+}
+
+impl Instr {
+    /// `(pops, pushes)` — the stack effect, used by the verifier and the
+    /// abstract interpreter. `Call`'s effect depends on the callee and is
+    /// handled specially by callers of this function.
+    #[must_use]
+    pub fn stack_effect(&self) -> (usize, usize) {
+        use Instr::*;
+        match self {
+            PushInt(_) | PushBool(_) | PushNull => (0, 1),
+            Pop => (1, 0),
+            Dup => (1, 2),
+            Load(_) => (0, 1),
+            Store(_) => (1, 0),
+            GetField(_) => (1, 1),
+            PutField(_) => (2, 0),
+            NewObject(_) | NewObjectLabeled(..) => (0, 1),
+            NewArray | NewArrayLabeled(_) => (1, 1),
+            ALoad => (2, 1),
+            AStore => (3, 0),
+            ArrayLen => (1, 1),
+            GetStatic(_) => (0, 1),
+            PutStatic(_) => (1, 0),
+            Add | Sub | Mul | Div | Mod | And | Or | CmpEq | CmpLt | CmpLe => (2, 1),
+            Neg | Not => (1, 1),
+            Jump(_) => (0, 0),
+            JumpIfTrue(_) | JumpIfFalse(_) => (1, 0),
+            Call(_) | CallSecure(..) => (0, 0), // resolved by the caller
+            Return => (0, 0),                   // resolved by the caller
+            CopyAndLabel(_) => (1, 1),
+            Throw => (1, 0),
+            OsWriteByte(_) => (1, 0),
+            OsReadByte(_) => (0, 1),
+            Nop => (0, 0),
+        }
+    }
+
+    /// Is this instruction a control-flow terminator (no fallthrough)?
+    #[must_use]
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, Instr::Jump(_) | Instr::Return | Instr::Throw)
+    }
+
+    /// Branch target, if any.
+    #[must_use]
+    pub fn branch_target(&self) -> Option<u32> {
+        match self {
+            Instr::Jump(t) | Instr::JumpIfTrue(t) | Instr::JumpIfFalse(t) => Some(*t),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_effects_balance() {
+        assert_eq!(Instr::PushInt(1).stack_effect(), (0, 1));
+        assert_eq!(Instr::AStore.stack_effect(), (3, 0));
+        assert_eq!(Instr::Dup.stack_effect(), (1, 2));
+    }
+
+    #[test]
+    fn terminators_and_targets() {
+        assert!(Instr::Jump(3).is_terminator());
+        assert!(Instr::Return.is_terminator());
+        assert!(!Instr::JumpIfTrue(3).is_terminator());
+        assert_eq!(Instr::JumpIfFalse(7).branch_target(), Some(7));
+        assert_eq!(Instr::Add.branch_target(), None);
+    }
+}

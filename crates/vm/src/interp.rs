@@ -1,0 +1,964 @@
+//! The MiniVM interpreter: security regions, barriers, exceptions.
+//!
+//! One [`Vm`] instance executes one VM thread (the Laminar principal).
+//! Multithreaded programs run several `Vm`s, each bound to its own
+//! kernel task via an [`crate::OsBridge`]; cross-thread sharing of
+//! labeled data happens through the OS (pipes, files) or through the
+//! `laminar` runtime crate's `Labeled<T>` cells, keeping this
+//! interpreter single-threaded and lock-free like a JIT'd mutator.
+
+use crate::bridge::OsBridge;
+use crate::bytecode::{FuncId, Instr, PairSpecId, RegionSpecId};
+use crate::compile::{Barrier, BarrierMode, CInstr, CompiledFunction, Ctx};
+use crate::error::{VmError, VmResult};
+use crate::heap::{ClassId, Heap, ObjKind};
+use crate::program::Program;
+use crate::stats::VmStats;
+use crate::value::{ObjRef, Value};
+use laminar_difc::{CapKind, CapSet, Capability, Label, SecPair, Tag};
+
+use std::sync::Arc;
+
+/// One entry of the thread's region stack.
+#[derive(Debug)]
+struct RegionFrame {
+    saved_labels: SecPair,
+    saved_caps: CapSet,
+}
+
+/// The Laminar virtual machine (one thread).
+///
+/// See the crate docs for a complete example.
+#[derive(Debug)]
+pub struct Vm {
+    program: Program,
+    tags: Vec<Tag>,
+    heap: Heap,
+    statics: Vec<Value>,
+    /// Resolved labels of each static (unlabeled pair when none).
+    static_labels: Vec<SecPair>,
+    mode: BarrierMode,
+    optimize: bool,
+    /// Compile cache, indexed `[func][ctx]` (ctx: 0 = NoBarriers,
+    /// 1 = InRegion, 2 = OutRegion, 3 = Dynamic). Vector-indexed so a
+    /// warm call is one load — the paper's warm JIT dispatch.
+    compiled: Vec<[Option<Arc<CompiledFunction>>; 4]>,
+    /// `Static` mode: the context each function was first compiled for.
+    static_choice: Vec<Option<Ctx>>,
+    stats: VmStats,
+    labels: SecPair,
+    caps: CapSet,
+    regions: Vec<RegionFrame>,
+    bridge: Option<Box<dyn OsBridge>>,
+    /// Labels currently pushed to the kernel task (`None` = unlabeled).
+    kernel_labels: Option<SecPair>,
+}
+
+impl Vm {
+    /// Creates a VM for `program` with the given runtime tag table and
+    /// barrier strategy. Redundant-barrier elimination is on by default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program references more tag indices than `tags`
+    /// provides (`program.tags_used`).
+    #[must_use]
+    pub fn new(program: Program, tags: Vec<Tag>, mode: BarrierMode) -> Self {
+        assert!(
+            tags.len() >= program.tags_used as usize,
+            "program references {} tags but only {} were supplied",
+            program.tags_used,
+            tags.len()
+        );
+        let statics = vec![Value::Null; program.statics.len()];
+        let static_labels: Vec<SecPair> = program
+            .statics
+            .iter()
+            .map(|st| match st.labels {
+                Some(spec) => {
+                    let ps = &program.pair_specs[spec.0 as usize];
+                    SecPair::new(
+                        Label::from_tags(ps.secrecy.iter().map(|&i| tags[i as usize])),
+                        Label::from_tags(ps.integrity.iter().map(|&i| tags[i as usize])),
+                    )
+                }
+                None => SecPair::unlabeled(),
+            })
+            .collect();
+        let nfuncs = program.functions.len();
+        Vm {
+            program,
+            tags,
+            heap: Heap::new(),
+            statics,
+            static_labels,
+            mode,
+            optimize: true,
+            compiled: vec![[None, None, None, None]; nfuncs],
+            static_choice: vec![None; nfuncs],
+            stats: VmStats::default(),
+            labels: SecPair::unlabeled(),
+            caps: CapSet::new(),
+            regions: Vec::new(),
+            bridge: None,
+            kernel_labels: None,
+        }
+    }
+
+    /// Sets the thread's capability set (normally granted at login or
+    /// inherited from the spawning thread).
+    pub fn set_thread_caps(&mut self, caps: CapSet) {
+        self.caps = caps;
+    }
+
+    /// Toggles redundant-barrier elimination (ablation knob; recompiles
+    /// nothing already compiled).
+    pub fn set_optimize(&mut self, on: bool) {
+        self.optimize = on;
+    }
+
+    /// Attaches the OS bridge for syscall instructions and label sync.
+    pub fn set_bridge(&mut self, bridge: Box<dyn OsBridge>) {
+        self.bridge = Some(bridge);
+    }
+
+    /// Execution statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> &VmStats {
+        &self.stats
+    }
+
+    /// Resets statistics (not the compile caches).
+    pub fn reset_stats(&mut self) {
+        self.stats = VmStats::default();
+    }
+
+    /// The thread's current labels (empty outside security regions).
+    #[must_use]
+    pub fn current_labels(&self) -> &SecPair {
+        &self.labels
+    }
+
+    /// The heap (for embedder inspection).
+    #[must_use]
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    /// The program being executed.
+    #[must_use]
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    // --- trusted embedder (host) heap access -----------------------------
+
+    /// Allocates an object from the host, optionally into the labeled
+    /// space. Host access is part of the TCB and is not barrier-checked.
+    ///
+    /// # Errors
+    /// [`VmError::Malformed`] on an unknown class.
+    pub fn host_alloc_object(
+        &mut self,
+        class: ClassId,
+        labels: Option<SecPair>,
+    ) -> VmResult<ObjRef> {
+        let nfields = self
+            .program
+            .classes
+            .get(class.0 as usize)
+            .ok_or(VmError::Malformed("unknown class"))?
+            .nfields as usize;
+        Ok(self.heap.alloc_object(class, nfields, labels))
+    }
+
+    /// Allocates an array from the host.
+    pub fn host_alloc_array(&mut self, len: usize, labels: Option<SecPair>) -> ObjRef {
+        self.heap.alloc_array(len, labels)
+    }
+
+    /// Reads a field from the host (TCB; no barrier).
+    ///
+    /// # Errors
+    /// [`VmError::Malformed`] / bounds errors.
+    pub fn host_get_field(&self, obj: ObjRef, field: usize) -> VmResult<Value> {
+        match &self.heap.get(obj)?.kind {
+            ObjKind::Object { fields, .. } => fields
+                .get(field)
+                .copied()
+                .ok_or(VmError::Malformed("field index out of range")),
+            ObjKind::Array { elems } => elems
+                .get(field)
+                .copied()
+                .ok_or(VmError::Malformed("element index out of range")),
+        }
+    }
+
+    /// Writes a field from the host (TCB; no barrier).
+    ///
+    /// # Errors
+    /// [`VmError::Malformed`] / bounds errors.
+    pub fn host_put_field(
+        &mut self,
+        obj: ObjRef,
+        field: usize,
+        value: Value,
+    ) -> VmResult<()> {
+        match &mut self.heap.get_mut(obj)?.kind {
+            ObjKind::Object { fields, .. } => {
+                *fields
+                    .get_mut(field)
+                    .ok_or(VmError::Malformed("field index out of range"))? = value;
+            }
+            ObjKind::Array { elems } => {
+                *elems
+                    .get_mut(field)
+                    .ok_or(VmError::Malformed("element index out of range"))? = value;
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds a label pair from a pair-spec id (resolving tag indices
+    /// through the runtime tag table).
+    ///
+    /// # Errors
+    /// [`VmError::Malformed`] on a bad spec id.
+    pub fn pair_from_spec(&self, id: PairSpecId) -> VmResult<SecPair> {
+        let spec = self
+            .program
+            .pair_specs
+            .get(id.0 as usize)
+            .ok_or(VmError::Malformed("unknown pair spec"))?;
+        let s = Label::from_tags(spec.secrecy.iter().map(|&i| self.tags[i as usize]));
+        let i = Label::from_tags(spec.integrity.iter().map(|&i| self.tags[i as usize]));
+        Ok(SecPair::new(s, i))
+    }
+
+    // --- entry points -----------------------------------------------------
+
+    /// Calls a non-region function from the host (outside any region).
+    ///
+    /// # Errors
+    ///
+    /// Any [`VmError`] the program raises outside a security region
+    /// (in-region exceptions are handled by catch blocks and suppressed).
+    pub fn call(&mut self, f: FuncId, args: &[Value]) -> VmResult<Option<Value>> {
+        let func = self
+            .program
+            .functions
+            .get(f.0 as usize)
+            .ok_or(VmError::Malformed("unknown function"))?;
+        if func.region {
+            return Err(VmError::Malformed(
+                "security regions are entered via CallSecure, not host calls",
+            ));
+        }
+        if args.len() != func.params as usize {
+            return Err(VmError::Malformed("wrong argument count"));
+        }
+        self.exec(f, args.to_vec())
+    }
+
+    /// [`Self::call`] by function name.
+    ///
+    /// # Errors
+    /// [`VmError::Malformed`] if no such function; else as [`Self::call`].
+    pub fn call_by_name(&mut self, name: &str, args: &[Value]) -> VmResult<Option<Value>> {
+        let f = self
+            .program
+            .func_by_name(name)
+            .ok_or(VmError::Malformed("unknown function name"))?;
+        self.call(f, args)
+    }
+
+    // --- compilation ------------------------------------------------------
+
+    fn in_region(&self) -> bool {
+        !self.regions.is_empty()
+    }
+
+    fn ctx_slot(ctx: Ctx) -> usize {
+        match ctx {
+            Ctx::NoBarriers => 0,
+            Ctx::InRegion => 1,
+            Ctx::OutRegion => 2,
+            Ctx::Dynamic => 3,
+        }
+    }
+
+    fn compiled_for_call(&mut self, f: FuncId) -> VmResult<Arc<CompiledFunction>> {
+        let wanted = match self.mode {
+            BarrierMode::None => Ctx::NoBarriers,
+            BarrierMode::Dynamic => Ctx::Dynamic,
+            // Static and Cloning both bake the context in; Cloning keeps
+            // one compiled clone per context instead of failing on a
+            // dual-context method (§5.1's production design).
+            BarrierMode::Static | BarrierMode::Cloning => {
+                if self.in_region() {
+                    Ctx::InRegion
+                } else {
+                    Ctx::OutRegion
+                }
+            }
+        };
+        if self.mode == BarrierMode::Static {
+            match self.static_choice[f.0 as usize] {
+                Some(chosen) if chosen != wanted => {
+                    // The paper's static-barrier failure mode: the method
+                    // was compiled for the other context (§5.1). A real
+                    // mis-barriered run would be unsound; we fail loudly.
+                    return Err(VmError::BarrierContextMismatch {
+                        function: self.program.functions[f.0 as usize].name.clone(),
+                    });
+                }
+                Some(_) => {}
+                None => self.static_choice[f.0 as usize] = Some(wanted),
+            }
+        }
+        let slot = Self::ctx_slot(wanted);
+        if let Some(c) = &self.compiled[f.0 as usize][slot] {
+            return Ok(Arc::clone(c));
+        }
+        let c = Arc::new(crate::compile::compile(
+            &self.program,
+            f.0,
+            wanted,
+            self.optimize,
+        )?);
+        self.stats.functions_compiled += 1;
+        self.stats.compile_cost += c.cost;
+        self.stats.barriers_eliminated += c.eliminated;
+        self.compiled[f.0 as usize][slot] = Some(Arc::clone(&c));
+        Ok(c)
+    }
+
+    // --- regions ----------------------------------------------------------
+
+    fn enter_region(&mut self, spec_id: RegionSpecId) -> VmResult<()> {
+        let spec = self
+            .program
+            .region_specs
+            .get(spec_id.0 as usize)
+            .ok_or(VmError::Malformed("unknown region spec"))?
+            .clone();
+        let pair = self.pair_from_spec(spec.pair)?;
+        let mut rcaps = CapSet::new();
+        for &(ti, kind) in &spec.caps {
+            let tag = self.tags[ti as usize];
+            rcaps.grant(match kind {
+                CapKind::Plus => Capability::plus(tag),
+                CapKind::Minus => Capability::minus(tag),
+            });
+        }
+        // Rule (1) of §4.3.2: SR ⊆ (Cp+ ∪ SP) and IR ⊆ (Cp+ ∪ IP).
+        for t in pair.secrecy().iter() {
+            if !self.caps.can_add(t) && !self.labels.secrecy().contains(t) {
+                return Err(VmError::RegionEntry(
+                    "thread lacks the capability or label for a region secrecy tag",
+                ));
+            }
+        }
+        for t in pair.integrity().iter() {
+            if !self.caps.can_add(t) && !self.labels.integrity().contains(t) {
+                return Err(VmError::RegionEntry(
+                    "thread lacks the capability or label for a region integrity tag",
+                ));
+            }
+        }
+        // Rule (2): CR ⊆ CP.
+        if !rcaps.is_subset_of(&self.caps) {
+            return Err(VmError::RegionEntry(
+                "region capabilities exceed the entering thread's",
+            ));
+        }
+        self.regions.push(RegionFrame {
+            saved_labels: std::mem::replace(&mut self.labels, pair),
+            saved_caps: std::mem::replace(&mut self.caps, rcaps),
+        });
+        self.stats.regions_entered += 1;
+        Ok(())
+    }
+
+    fn exit_region(&mut self) -> VmResult<()> {
+        let frame = self.regions.pop().expect("exit without matching enter");
+        // If the kernel task carries this region's labels, restore it to
+        // the unlabeled state through the trusted tcb path (§4.4); the
+        // next syscall in an outer region will re-sync lazily.
+        if self.kernel_labels.as_ref() == Some(&self.labels) {
+            if let Some(bridge) = self.bridge.as_mut() {
+                bridge
+                    .restore_labels(&SecPair::unlabeled())
+                    .map_err(VmError::Os)?;
+            }
+            self.kernel_labels = None;
+        } else if !self.labels.is_unlabeled() {
+            // Labeled region that never made a syscall: the lazy
+            // optimization skipped two syscalls.
+            self.stats.os_label_syncs_elided += 1;
+        }
+        self.labels = frame.saved_labels;
+        self.caps = frame.saved_caps;
+        Ok(())
+    }
+
+    fn ensure_os_sync(&mut self) -> VmResult<()> {
+        if self.kernel_labels.as_ref() == Some(&self.labels)
+            || (self.kernel_labels.is_none() && self.labels.is_unlabeled())
+        {
+            return Ok(());
+        }
+        let bridge = self
+            .bridge
+            .as_mut()
+            .ok_or(VmError::Os("no OS bridge attached".into()))?;
+        if self.labels.is_unlabeled() {
+            bridge
+                .restore_labels(&SecPair::unlabeled())
+                .map_err(VmError::Os)?;
+            self.kernel_labels = None;
+        } else {
+            bridge.sync_labels(&self.labels).map_err(VmError::Os)?;
+            self.kernel_labels = Some(self.labels.clone());
+            self.stats.os_label_syncs += 1;
+        }
+        Ok(())
+    }
+
+    /// Is this error suppressed at a region boundary? Configuration and
+    /// program-form errors propagate; everything a program can raise at
+    /// run time is suppressed (§4.3.3: "The VM suppresses all exceptions
+    /// inside a security region that are not explicitly caught").
+    fn suppressible(e: &VmError) -> bool {
+        !matches!(
+            e,
+            VmError::Malformed(_)
+                | VmError::Verify(_)
+                | VmError::BarrierContextMismatch { .. }
+        )
+    }
+
+    // --- barriers ---------------------------------------------------------
+
+    fn object_pair(&self, obj: ObjRef) -> VmResult<SecPair> {
+        Ok(self
+            .heap
+            .labels_of(obj)?
+            .cloned()
+            .unwrap_or_else(SecPair::unlabeled))
+    }
+
+    fn barrier_read_in(&mut self, obj: ObjRef) -> VmResult<()> {
+        self.stats.read_barriers += 1;
+        let pair = self.object_pair(obj)?;
+        pair.can_flow_to(&self.labels).map_err(VmError::from)
+    }
+
+    fn barrier_write_in(&mut self, obj: ObjRef) -> VmResult<()> {
+        self.stats.write_barriers += 1;
+        let pair = self.object_pair(obj)?;
+        self.labels.can_flow_to(&pair).map_err(VmError::from)
+    }
+
+    fn barrier_out(&mut self, obj: ObjRef, is_read: bool) -> VmResult<()> {
+        if is_read {
+            self.stats.read_barriers += 1;
+        } else {
+            self.stats.write_barriers += 1;
+        }
+        if self.heap.labels_of(obj)?.is_some() {
+            return Err(VmError::LabeledAccessOutsideRegion);
+        }
+        Ok(())
+    }
+
+    fn run_access_barrier(
+        &mut self,
+        b: Barrier,
+        instr: &Instr,
+        stack: &[Value],
+    ) -> VmResult<()> {
+        let depth = match instr {
+            Instr::GetField(_) | Instr::ArrayLen => 0,
+            Instr::PutField(_) | Instr::ALoad => 1,
+            Instr::AStore => 2,
+            _ => 0,
+        };
+        let obj_at = |d: usize| -> VmResult<ObjRef> {
+            stack
+                .get(stack.len().wrapping_sub(1 + d))
+                .copied()
+                .ok_or(VmError::Malformed("barrier operand missing"))?
+                .as_ref()
+        };
+        match b {
+            Barrier::ReadIn => {
+                let o = obj_at(depth)?;
+                self.barrier_read_in(o)
+            }
+            Barrier::WriteIn => {
+                let o = obj_at(depth)?;
+                self.barrier_write_in(o)
+            }
+            Barrier::ReadOut => {
+                let o = obj_at(depth)?;
+                self.barrier_out(o, true)
+            }
+            Barrier::WriteOut => {
+                let o = obj_at(depth)?;
+                self.barrier_out(o, false)
+            }
+            Barrier::ReadDyn => {
+                self.stats.dynamic_dispatches += 1;
+                let o = obj_at(depth)?;
+                if self.in_region() {
+                    self.barrier_read_in(o)
+                } else {
+                    self.barrier_out(o, true)
+                }
+            }
+            Barrier::WriteDyn => {
+                self.stats.dynamic_dispatches += 1;
+                let o = obj_at(depth)?;
+                if self.in_region() {
+                    self.barrier_write_in(o)
+                } else {
+                    self.barrier_out(o, false)
+                }
+            }
+            Barrier::StaticReadIn => {
+                self.stats.static_barriers += 1;
+                let pair = self.static_pair_of(instr)?;
+                // For an unlabeled static this is exactly the prototype's
+                // rule: an integrity region may not read it (I_thr ⊄ {}).
+                pair.can_flow_to(&self.labels).map_err(VmError::from)
+            }
+            Barrier::StaticWriteIn => {
+                self.stats.static_barriers += 1;
+                let pair = self.static_pair_of(instr)?;
+                // Unlabeled static: a secrecy region may not write it.
+                self.labels.can_flow_to(&pair).map_err(VmError::from)
+            }
+            Barrier::StaticReadOut | Barrier::StaticWriteOut => {
+                self.stats.static_barriers += 1;
+                if !self.static_pair_of(instr)?.is_unlabeled() {
+                    return Err(VmError::LabeledAccessOutsideRegion);
+                }
+                Ok(())
+            }
+            Barrier::StaticReadDyn => {
+                self.stats.dynamic_dispatches += 1;
+                if self.in_region() {
+                    self.run_access_barrier(Barrier::StaticReadIn, instr, stack)
+                } else {
+                    self.run_access_barrier(Barrier::StaticReadOut, instr, stack)
+                }
+            }
+            Barrier::StaticWriteDyn => {
+                self.stats.dynamic_dispatches += 1;
+                if self.in_region() {
+                    self.run_access_barrier(Barrier::StaticWriteIn, instr, stack)
+                } else {
+                    self.run_access_barrier(Barrier::StaticWriteOut, instr, stack)
+                }
+            }
+            // Alloc barriers are folded into the allocation instructions.
+            Barrier::AllocIn | Barrier::AllocDyn => Ok(()),
+        }
+    }
+
+    /// The labels of the static referenced by a Get/PutStatic instruction.
+    fn static_pair_of(&self, instr: &Instr) -> VmResult<SecPair> {
+        match instr {
+            Instr::GetStatic(s) | Instr::PutStatic(s) => self
+                .static_labels
+                .get(s.0 as usize)
+                .cloned()
+                .ok_or(VmError::Malformed("unknown static")),
+            _ => Err(VmError::Malformed("static barrier on non-static op")),
+        }
+    }
+
+    /// Labels for a plain in-program allocation under barrier `b`.
+    fn alloc_labels(&mut self, b: Option<Barrier>) -> Option<SecPair> {
+        let labeled = match b {
+            Some(Barrier::AllocIn) => true,
+            Some(Barrier::AllocDyn) => {
+                self.stats.dynamic_dispatches += 1;
+                self.in_region()
+            }
+            _ => false,
+        };
+        if labeled && !self.labels.is_unlabeled() {
+            self.stats.alloc_barriers += 1;
+            Some(self.labels.clone())
+        } else {
+            None
+        }
+    }
+
+    /// Labels for an explicitly labeled allocation: must occur inside a
+    /// region (except in the unsafe `None` mode where no barrier runs),
+    /// and the new labels must be writable by the thread.
+    fn alloc_labels_explicit(
+        &mut self,
+        b: Option<Barrier>,
+        spec: PairSpecId,
+    ) -> VmResult<Option<SecPair>> {
+        let pair = self.pair_from_spec(spec)?;
+        match b {
+            Some(Barrier::AllocIn) => {}
+            Some(Barrier::AllocDyn) => {
+                self.stats.dynamic_dispatches += 1;
+                if !self.in_region() {
+                    return Err(VmError::LabeledAccessOutsideRegion);
+                }
+            }
+            None => {
+                // None occurs in BarrierMode::None (unsafe baseline) or
+                // for out-of-region static compilation, where explicitly
+                // labeled allocation must be rejected.
+                if self.mode != BarrierMode::None {
+                    return Err(VmError::LabeledAccessOutsideRegion);
+                }
+            }
+            _ => {}
+        }
+        if b.is_some() {
+            self.stats.alloc_barriers += 1;
+            self.labels.can_flow_to(&pair)?;
+        }
+        Ok(if pair.is_unlabeled() { None } else { Some(pair) })
+    }
+
+    // --- the interpreter loop ----------------------------------------------
+
+    #[allow(clippy::too_many_lines)]
+    fn exec(&mut self, f: FuncId, args: Vec<Value>) -> VmResult<Option<Value>> {
+        let compiled = self.compiled_for_call(f)?;
+        let func = &self.program.functions[f.0 as usize];
+        let (nlocals, returns, params) =
+            (func.locals as usize, func.returns, func.params as usize);
+        debug_assert_eq!(args.len(), params);
+
+        let mut locals = vec![Value::Null; nlocals];
+        locals[..params].copy_from_slice(&args);
+        let mut stack: Vec<Value> = Vec::with_capacity(8);
+        let mut pc = 0usize;
+
+        macro_rules! pop {
+            () => {
+                stack.pop().ok_or(VmError::Malformed("operand stack underflow"))?
+            };
+        }
+
+        while pc < compiled.code.len() {
+            let CInstr { barrier, instr } = compiled.code[pc];
+            self.stats.instructions += 1;
+            if let Some(b) = barrier {
+                if !matches!(b, Barrier::AllocIn | Barrier::AllocDyn) {
+                    self.run_access_barrier(b, &instr, &stack)?;
+                }
+            }
+            match instr {
+                Instr::PushInt(v) => stack.push(Value::Int(v)),
+                Instr::PushBool(v) => stack.push(Value::Bool(v)),
+                Instr::PushNull => stack.push(Value::Null),
+                Instr::Pop => {
+                    pop!();
+                }
+                Instr::Dup => {
+                    let v = *stack.last().ok_or(VmError::Malformed("dup on empty"))?;
+                    stack.push(v);
+                }
+                Instr::Load(l) => stack.push(locals[l as usize]),
+                Instr::Store(l) => locals[l as usize] = pop!(),
+                Instr::GetField(n) => {
+                    let obj = pop!().as_ref()?;
+                    match &self.heap.get(obj)?.kind {
+                        ObjKind::Object { fields, .. } => {
+                            let v = fields.get(n as usize).copied().ok_or(
+                                VmError::Malformed("field index out of range"),
+                            )?;
+                            stack.push(v);
+                        }
+                        ObjKind::Array { .. } => {
+                            return Err(VmError::TypeError("GetField on array"))
+                        }
+                    }
+                }
+                Instr::PutField(n) => {
+                    let val = pop!();
+                    let obj = pop!().as_ref()?;
+                    match &mut self.heap.get_mut(obj)?.kind {
+                        ObjKind::Object { fields, .. } => {
+                            *fields.get_mut(n as usize).ok_or(VmError::Malformed(
+                                "field index out of range",
+                            ))? = val;
+                        }
+                        ObjKind::Array { .. } => {
+                            return Err(VmError::TypeError("PutField on array"))
+                        }
+                    }
+                }
+                Instr::NewObject(c) => {
+                    let labels = self.alloc_labels(barrier);
+                    let nfields =
+                        self.program.classes[c.0 as usize].nfields as usize;
+                    let r = self.heap.alloc_object(c, nfields, labels);
+                    stack.push(Value::Ref(r));
+                }
+                Instr::NewObjectLabeled(c, spec) => {
+                    let labels = self.alloc_labels_explicit(barrier, spec)?;
+                    let nfields =
+                        self.program.classes[c.0 as usize].nfields as usize;
+                    let r = self.heap.alloc_object(c, nfields, labels);
+                    stack.push(Value::Ref(r));
+                }
+                Instr::NewArray => {
+                    let len = pop!().as_int()?;
+                    if len < 0 {
+                        return Err(VmError::Malformed("negative array length"));
+                    }
+                    let labels = self.alloc_labels(barrier);
+                    let r = self.heap.alloc_array(len as usize, labels);
+                    stack.push(Value::Ref(r));
+                }
+                Instr::NewArrayLabeled(spec) => {
+                    let len = pop!().as_int()?;
+                    if len < 0 {
+                        return Err(VmError::Malformed("negative array length"));
+                    }
+                    let labels = self.alloc_labels_explicit(barrier, spec)?;
+                    let r = self.heap.alloc_array(len as usize, labels);
+                    stack.push(Value::Ref(r));
+                }
+                Instr::ALoad => {
+                    let idx = pop!().as_int()?;
+                    let arr = pop!().as_ref()?;
+                    match &self.heap.get(arr)?.kind {
+                        ObjKind::Array { elems } => {
+                            if idx < 0 || idx as usize >= elems.len() {
+                                return Err(VmError::IndexOutOfBounds {
+                                    index: idx,
+                                    len: elems.len(),
+                                });
+                            }
+                            stack.push(elems[idx as usize]);
+                        }
+                        ObjKind::Object { .. } => {
+                            return Err(VmError::TypeError("ALoad on object"))
+                        }
+                    }
+                }
+                Instr::AStore => {
+                    let val = pop!();
+                    let idx = pop!().as_int()?;
+                    let arr = pop!().as_ref()?;
+                    match &mut self.heap.get_mut(arr)?.kind {
+                        ObjKind::Array { elems } => {
+                            if idx < 0 || idx as usize >= elems.len() {
+                                return Err(VmError::IndexOutOfBounds {
+                                    index: idx,
+                                    len: elems.len(),
+                                });
+                            }
+                            elems[idx as usize] = val;
+                        }
+                        ObjKind::Object { .. } => {
+                            return Err(VmError::TypeError("AStore on object"))
+                        }
+                    }
+                }
+                Instr::ArrayLen => {
+                    let arr = pop!().as_ref()?;
+                    match &self.heap.get(arr)?.kind {
+                        ObjKind::Array { elems } => {
+                            stack.push(Value::Int(elems.len() as i64));
+                        }
+                        ObjKind::Object { .. } => {
+                            return Err(VmError::TypeError("ArrayLen on object"))
+                        }
+                    }
+                }
+                Instr::GetStatic(s) => stack.push(self.statics[s.0 as usize]),
+                Instr::PutStatic(s) => self.statics[s.0 as usize] = pop!(),
+                Instr::Add | Instr::Sub | Instr::Mul | Instr::Div | Instr::Mod => {
+                    let b = pop!().as_int()?;
+                    let a = pop!().as_int()?;
+                    let v = match instr {
+                        Instr::Add => a.wrapping_add(b),
+                        Instr::Sub => a.wrapping_sub(b),
+                        Instr::Mul => a.wrapping_mul(b),
+                        Instr::Div => {
+                            if b == 0 {
+                                return Err(VmError::DivideByZero);
+                            }
+                            a.wrapping_div(b)
+                        }
+                        Instr::Mod => {
+                            if b == 0 {
+                                return Err(VmError::DivideByZero);
+                            }
+                            a.wrapping_rem(b)
+                        }
+                        _ => unreachable!(),
+                    };
+                    stack.push(Value::Int(v));
+                }
+                Instr::Neg => {
+                    let a = pop!().as_int()?;
+                    stack.push(Value::Int(a.wrapping_neg()));
+                }
+                Instr::Not => {
+                    let a = pop!().as_bool()?;
+                    stack.push(Value::Bool(!a));
+                }
+                Instr::And | Instr::Or => {
+                    let b = pop!().as_bool()?;
+                    let a = pop!().as_bool()?;
+                    stack.push(Value::Bool(if matches!(instr, Instr::And) {
+                        a && b
+                    } else {
+                        a || b
+                    }));
+                }
+                Instr::CmpEq => {
+                    let b = pop!();
+                    let a = pop!();
+                    stack.push(Value::Bool(a == b));
+                }
+                Instr::CmpLt => {
+                    let b = pop!().as_int()?;
+                    let a = pop!().as_int()?;
+                    stack.push(Value::Bool(a < b));
+                }
+                Instr::CmpLe => {
+                    let b = pop!().as_int()?;
+                    let a = pop!().as_int()?;
+                    stack.push(Value::Bool(a <= b));
+                }
+                Instr::Jump(t) => {
+                    pc = t as usize;
+                    continue;
+                }
+                Instr::JumpIfTrue(t) => {
+                    if pop!().as_bool()? {
+                        pc = t as usize;
+                        continue;
+                    }
+                }
+                Instr::JumpIfFalse(t) => {
+                    if !pop!().as_bool()? {
+                        pc = t as usize;
+                        continue;
+                    }
+                }
+                Instr::Call(callee) => {
+                    let cf = &self.program.functions[callee.0 as usize];
+                    let (nparams, creturns) = (cf.params as usize, cf.returns);
+                    if stack.len() < nparams {
+                        return Err(VmError::Malformed("missing call arguments"));
+                    }
+                    let cargs = stack.split_off(stack.len() - nparams);
+                    let r = self.exec(callee, cargs)?;
+                    if creturns {
+                        stack.push(r.ok_or(VmError::Malformed("missing return value"))?);
+                    }
+                }
+                Instr::CallSecure(callee, spec) => {
+                    let cf = &self.program.functions[callee.0 as usize];
+                    let nparams = cf.params as usize;
+                    if stack.len() < nparams {
+                        return Err(VmError::Malformed("missing call arguments"));
+                    }
+                    let cargs = stack.split_off(stack.len() - nparams);
+                    // Entry failures terminate (propagate): §5.1 "the
+                    // program terminates at L1".
+                    self.enter_region(spec)?;
+                    let catch = self.program.region_specs[spec.0 as usize].catch;
+                    let result = self.exec(callee, cargs.clone());
+                    if let Err(e) = result {
+                        if !Self::suppressible(&e) {
+                            // Unwind the region before propagating.
+                            self.exit_region()?;
+                            return Err(e);
+                        }
+                        self.stats.exceptions_suppressed += 1;
+                        // Run the catch block with the region's labels and
+                        // the capabilities at exception time; suppress its
+                        // exceptions too (§4.3.3).
+                        if let Some(cfid) = catch {
+                            let cfunc = &self.program.functions[cfid.0 as usize];
+                            let catch_args =
+                                cargs[..(cfunc.params as usize).min(cargs.len())]
+                                    .to_vec();
+                            if catch_args.len() == cfunc.params as usize {
+                                match self.exec(cfid, catch_args) {
+                                    Ok(_) => {}
+                                    Err(ce) if Self::suppressible(&ce) => {
+                                        self.stats.exceptions_suppressed += 1;
+                                    }
+                                    Err(ce) => {
+                                        self.exit_region()?;
+                                        return Err(ce);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    self.exit_region()?;
+                }
+                Instr::Return => {
+                    return if returns {
+                        Ok(Some(pop!()))
+                    } else {
+                        Ok(None)
+                    };
+                }
+                Instr::CopyAndLabel(spec) => {
+                    if !self.in_region() && self.mode != BarrierMode::None {
+                        return Err(VmError::LabeledAccessOutsideRegion);
+                    }
+                    let obj = pop!().as_ref()?;
+                    let src = self.object_pair(obj)?;
+                    let dst = self.pair_from_spec(spec)?;
+                    laminar_difc::check_pair_change(&src, &dst, &self.caps)?;
+                    let labels = if dst.is_unlabeled() { None } else { Some(dst) };
+                    let copy = self.heap.copy_with_labels(obj, labels)?;
+                    self.stats.copy_and_label += 1;
+                    stack.push(Value::Ref(copy));
+                }
+                Instr::Throw => {
+                    let code = pop!().as_int()?;
+                    return Err(VmError::Thrown(code));
+                }
+                Instr::OsWriteByte(s) => {
+                    let byte = pop!().as_int()?;
+                    self.ensure_os_sync()?;
+                    let path = self.program.strings[s.0 as usize].clone();
+                    let bridge = self
+                        .bridge
+                        .as_mut()
+                        .ok_or(VmError::Os("no OS bridge attached".into()))?;
+                    bridge.write_byte(&path, byte as u8).map_err(VmError::Os)?;
+                }
+                Instr::OsReadByte(s) => {
+                    self.ensure_os_sync()?;
+                    let path = self.program.strings[s.0 as usize].clone();
+                    let bridge = self
+                        .bridge
+                        .as_mut()
+                        .ok_or(VmError::Os("no OS bridge attached".into()))?;
+                    let b = bridge.read_byte(&path).map_err(VmError::Os)?;
+                    stack.push(Value::Int(b.map_or(-1, i64::from)));
+                }
+                Instr::Nop => {}
+            }
+            pc += 1;
+        }
+        // Function bodies are terminated by Return (the builder appends
+        // one), so falling off the end is malformed.
+        Err(VmError::Malformed("control flow fell off function end"))
+    }
+}

@@ -1,0 +1,516 @@
+//! Program representation and a builder for assembling MiniVM programs.
+//!
+//! Programs are produced by an *untrusted* frontend (the paper's
+//! `javac`): the VM re-verifies every program before execution
+//! ([`crate::verify`]), so nothing here is trusted.
+
+use crate::bytecode::{
+    FuncId, Instr, PairSpec, PairSpecId, RegionSpec, RegionSpecId, StaticId, StrId,
+    TagIdx,
+};
+use crate::error::{VmError, VmResult};
+use crate::heap::ClassId;
+use laminar_difc::CapKind;
+
+/// A class: a name and a number of fields.
+#[derive(Clone, Debug)]
+pub struct Class {
+    /// Class name (diagnostics only).
+    pub name: String,
+    /// Number of instance fields.
+    pub nfields: u16,
+}
+
+/// A static variable: name plus optional labels (labeled statics are the
+/// §5.1 "production implementation could support labeling statics"
+/// extension; unlabeled statics behave like the paper's prototype).
+#[derive(Clone, Debug)]
+pub struct StaticDecl {
+    /// Variable name (diagnostics only).
+    pub name: String,
+    /// Labels, if the static lives in the labeled space.
+    pub labels: Option<PairSpecId>,
+}
+
+/// A function definition.
+#[derive(Clone, Debug)]
+pub struct Function {
+    /// Function name (diagnostics only).
+    pub name: String,
+    /// Number of parameters (stored in the first local slots).
+    pub params: u16,
+    /// Total local slots (≥ `params`).
+    pub locals: u16,
+    /// Does the function return a value?
+    pub returns: bool,
+    /// Is this a security-region body? Region bodies are entered only
+    /// via `CallSecure` and obey the §5.1 restrictions (checked by the
+    /// verifier): no return value, parameters only dereferenced.
+    pub region: bool,
+    /// The bytecode.
+    pub body: Vec<Instr>,
+}
+
+/// A complete MiniVM program.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// Class table.
+    pub classes: Vec<Class>,
+    /// Function table.
+    pub functions: Vec<Function>,
+    /// Static-variable declarations.
+    pub statics: Vec<StaticDecl>,
+    /// Label-pair literals.
+    pub pair_specs: Vec<PairSpec>,
+    /// Security-region specifications.
+    pub region_specs: Vec<RegionSpec>,
+    /// Interned strings (OS paths).
+    pub strings: Vec<String>,
+    /// Number of distinct tag indices the program references; the VM
+    /// must be constructed with at least this many runtime tags.
+    pub tags_used: u16,
+}
+
+impl Program {
+    /// Looks up a function id by name (test convenience).
+    #[must_use]
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
+    }
+}
+
+/// Assembles a [`Program`].
+///
+/// # Examples
+///
+/// ```
+/// use laminar_vm::{ProgramBuilder, Value, Vm, BarrierMode};
+///
+/// # fn main() -> Result<(), laminar_vm::VmError> {
+/// let mut pb = ProgramBuilder::new();
+/// let f = pb.declare_func("double", 1, true);
+/// pb.define_func(f, 1, |b| {
+///     b.load(0).push_int(2).mul().ret();
+/// });
+/// let program = pb.finish()?;
+/// let mut vm = Vm::new(program, vec![], BarrierMode::Dynamic);
+/// let out = vm.call_by_name("double", &[Value::Int(21)])?;
+/// assert_eq!(out, Some(Value::Int(42)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    program: Program,
+    defined: Vec<bool>,
+}
+
+impl ProgramBuilder {
+    /// An empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        ProgramBuilder::default()
+    }
+
+    /// Adds a class with `nfields` instance fields.
+    pub fn add_class(&mut self, name: &str, nfields: u16) -> ClassId {
+        self.program.classes.push(Class { name: name.to_string(), nfields });
+        ClassId(self.program.classes.len() as u32 - 1)
+    }
+
+    /// Adds an unlabeled static variable.
+    pub fn add_static(&mut self, name: &str) -> StaticId {
+        self.program
+            .statics
+            .push(StaticDecl { name: name.to_string(), labels: None });
+        StaticId(self.program.statics.len() as u32 - 1)
+    }
+
+    /// Adds a *labeled* static variable (accessible only inside security
+    /// regions whose labels permit the flow).
+    pub fn add_static_labeled(&mut self, name: &str, labels: PairSpecId) -> StaticId {
+        self.program
+            .statics
+            .push(StaticDecl { name: name.to_string(), labels: Some(labels) });
+        StaticId(self.program.statics.len() as u32 - 1)
+    }
+
+    /// Interns a string constant (an OS path).
+    pub fn add_string(&mut self, s: &str) -> StrId {
+        self.program.strings.push(s.to_string());
+        StrId(self.program.strings.len() as u32 - 1)
+    }
+
+    /// Adds a `{S(..), I(..)}` literal over tag indices.
+    pub fn add_pair_spec(&mut self, secrecy: &[TagIdx], integrity: &[TagIdx]) -> PairSpecId {
+        for &t in secrecy.iter().chain(integrity) {
+            self.program.tags_used = self.program.tags_used.max(t + 1);
+        }
+        self.program
+            .pair_specs
+            .push(PairSpec { secrecy: secrecy.to_vec(), integrity: integrity.to_vec() });
+        PairSpecId(self.program.pair_specs.len() as u32 - 1)
+    }
+
+    /// Adds a security-region specification.
+    pub fn add_region_spec(
+        &mut self,
+        pair: PairSpecId,
+        caps: &[(TagIdx, CapKind)],
+        catch: Option<FuncId>,
+    ) -> RegionSpecId {
+        for &(t, _) in caps {
+            self.program.tags_used = self.program.tags_used.max(t + 1);
+        }
+        self.program
+            .region_specs
+            .push(RegionSpec { pair, caps: caps.to_vec(), catch });
+        RegionSpecId(self.program.region_specs.len() as u32 - 1)
+    }
+
+    /// Declares a function signature, returning its id so bodies can
+    /// reference it (mutual recursion, regions referencing catch blocks).
+    pub fn declare_func(&mut self, name: &str, params: u16, returns: bool) -> FuncId {
+        self.program.functions.push(Function {
+            name: name.to_string(),
+            params,
+            locals: params,
+            returns,
+            region: false,
+            body: Vec::new(),
+        });
+        self.defined.push(false);
+        FuncId(self.program.functions.len() as u32 - 1)
+    }
+
+    /// Declares a security-region body (void, entered via `CallSecure`).
+    pub fn declare_region(&mut self, name: &str, params: u16) -> FuncId {
+        let id = self.declare_func(name, params, false);
+        self.program.functions[id.0 as usize].region = true;
+        id
+    }
+
+    /// Defines a previously declared function's body. `locals` is the
+    /// total local-slot count (parameters occupy the first slots).
+    ///
+    /// # Panics
+    /// Panics if the function is already defined or `locals < params`.
+    pub fn define_func<F: FnOnce(&mut FunctionBuilder)>(
+        &mut self,
+        id: FuncId,
+        locals: u16,
+        build: F,
+    ) {
+        let f = &self.program.functions[id.0 as usize];
+        assert!(!self.defined[id.0 as usize], "function {} defined twice", f.name);
+        assert!(locals >= f.params, "locals must include parameter slots");
+        let mut fb = FunctionBuilder::new();
+        build(&mut fb);
+        let body = fb.finish();
+        let f = &mut self.program.functions[id.0 as usize];
+        f.locals = locals;
+        f.body = body;
+        self.defined[id.0 as usize] = true;
+    }
+
+    /// Shorthand: declare + define an ordinary function.
+    pub fn func<F: FnOnce(&mut FunctionBuilder)>(
+        &mut self,
+        name: &str,
+        params: u16,
+        returns: bool,
+        locals: u16,
+        build: F,
+    ) -> FuncId {
+        let id = self.declare_func(name, params, returns);
+        self.define_func(id, locals, build);
+        id
+    }
+
+    /// Shorthand: declare + define a security-region body.
+    pub fn region<F: FnOnce(&mut FunctionBuilder)>(
+        &mut self,
+        name: &str,
+        params: u16,
+        locals: u16,
+        build: F,
+    ) -> FuncId {
+        let id = self.declare_region(name, params);
+        self.define_func(id, locals, build);
+        id
+    }
+
+    /// Test-only: force the region flag on a declared function, to
+    /// exercise verifier rejections that `declare_region` prevents.
+    #[cfg(test)]
+    pub(crate) fn program_mark_region_for_test(&mut self, id: FuncId) {
+        self.program.functions[id.0 as usize].region = true;
+    }
+
+    /// Verifies and returns the program.
+    ///
+    /// # Errors
+    /// [`VmError::Verify`] if static checks fail (§5.1 region rules,
+    /// malformed ids, inconsistent stack depths).
+    pub fn finish(self) -> VmResult<Program> {
+        for (i, d) in self.defined.iter().enumerate() {
+            if !d && self.program.functions[i].body.is_empty() {
+                return Err(VmError::Verify(format!(
+                    "function {} declared but never defined",
+                    self.program.functions[i].name
+                )));
+            }
+        }
+        crate::verify::verify(&self.program)?;
+        Ok(self.program)
+    }
+}
+
+/// A forward-referencing label inside a function body.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct CodeLabel(usize);
+
+/// Emits the body of a single function, with label patching.
+#[derive(Debug, Default)]
+pub struct FunctionBuilder {
+    code: Vec<Instr>,
+    labels: Vec<Option<u32>>,
+    // (instruction index, label) pairs to patch at finish.
+    fixups: Vec<(usize, CodeLabel)>,
+}
+
+impl FunctionBuilder {
+    fn new() -> Self {
+        FunctionBuilder::default()
+    }
+
+    /// Raw emit.
+    pub fn emit(&mut self, i: Instr) -> &mut Self {
+        self.code.push(i);
+        self
+    }
+
+    /// Creates a label to be bound later.
+    pub fn new_label(&mut self) -> CodeLabel {
+        self.labels.push(None);
+        CodeLabel(self.labels.len() - 1)
+    }
+
+    /// Binds a label to the next instruction.
+    ///
+    /// # Panics
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, l: CodeLabel) -> &mut Self {
+        assert!(self.labels[l.0].is_none(), "label bound twice");
+        self.labels[l.0] = Some(self.code.len() as u32);
+        self
+    }
+
+    fn emit_branch(&mut self, make: fn(u32) -> Instr, l: CodeLabel) -> &mut Self {
+        self.fixups.push((self.code.len(), l));
+        self.code.push(make(u32::MAX));
+        self
+    }
+
+    /// `Jump` to a label.
+    pub fn jump(&mut self, l: CodeLabel) -> &mut Self {
+        self.emit_branch(Instr::Jump, l)
+    }
+
+    /// `JumpIfTrue` to a label.
+    pub fn jump_if_true(&mut self, l: CodeLabel) -> &mut Self {
+        self.emit_branch(Instr::JumpIfTrue, l)
+    }
+
+    /// `JumpIfFalse` to a label.
+    pub fn jump_if_false(&mut self, l: CodeLabel) -> &mut Self {
+        self.emit_branch(Instr::JumpIfFalse, l)
+    }
+
+    fn finish(mut self) -> Vec<Instr> {
+        for (at, l) in self.fixups {
+            let target = self.labels[l.0].expect("unbound label at finish");
+            self.code[at] = match self.code[at] {
+                Instr::Jump(_) => Instr::Jump(target),
+                Instr::JumpIfTrue(_) => Instr::JumpIfTrue(target),
+                Instr::JumpIfFalse(_) => Instr::JumpIfFalse(target),
+                other => other,
+            };
+        }
+        if !matches!(self.code.last(), Some(Instr::Return | Instr::Jump(_) | Instr::Throw)) {
+            self.code.push(Instr::Return);
+        }
+        self.code
+    }
+}
+
+// Fluent emit helpers: one tiny method per opcode keeps workload and test
+// code legible.
+macro_rules! emitters {
+    ($($(#[$doc:meta])* $fn_name:ident ( $($arg:ident : $ty:ty),* ) => $instr:expr;)*) => {
+        impl FunctionBuilder {
+            $(
+                $(#[$doc])*
+                pub fn $fn_name(&mut self, $($arg: $ty),*) -> &mut Self {
+                    self.emit($instr)
+                }
+            )*
+        }
+    };
+}
+
+emitters! {
+    /// Push an integer constant.
+    push_int(v: i64) => Instr::PushInt(v);
+    /// Push a boolean constant.
+    push_bool(v: bool) => Instr::PushBool(v);
+    /// Push null.
+    push_null() => Instr::PushNull;
+    /// Discard top of stack.
+    pop() => Instr::Pop;
+    /// Duplicate top of stack.
+    dup() => Instr::Dup;
+    /// Push a local.
+    load(n: u16) => Instr::Load(n);
+    /// Pop into a local.
+    store(n: u16) => Instr::Store(n);
+    /// Read an object field.
+    get_field(n: u16) => Instr::GetField(n);
+    /// Write an object field.
+    put_field(n: u16) => Instr::PutField(n);
+    /// Allocate an object.
+    new_object(c: ClassId) => Instr::NewObject(c);
+    /// Allocate an object with explicit labels.
+    new_object_labeled(c: ClassId, p: PairSpecId) => Instr::NewObjectLabeled(c, p);
+    /// Allocate an array (length on stack).
+    new_array() => Instr::NewArray;
+    /// Allocate a labeled array (length on stack).
+    new_array_labeled(p: PairSpecId) => Instr::NewArrayLabeled(p);
+    /// Array element read.
+    aload() => Instr::ALoad;
+    /// Array element write.
+    astore() => Instr::AStore;
+    /// Array length.
+    array_len() => Instr::ArrayLen;
+    /// Read a static.
+    get_static(s: StaticId) => Instr::GetStatic(s);
+    /// Write a static.
+    put_static(s: StaticId) => Instr::PutStatic(s);
+    /// Integer add.
+    add() => Instr::Add;
+    /// Integer subtract.
+    sub() => Instr::Sub;
+    /// Integer multiply.
+    mul() => Instr::Mul;
+    /// Integer divide.
+    div() => Instr::Div;
+    /// Integer remainder.
+    modulo() => Instr::Mod;
+    /// Integer negate.
+    neg() => Instr::Neg;
+    /// Boolean not.
+    not() => Instr::Not;
+    /// Boolean and.
+    and() => Instr::And;
+    /// Boolean or.
+    or() => Instr::Or;
+    /// Equality comparison.
+    cmp_eq() => Instr::CmpEq;
+    /// Less-than comparison.
+    cmp_lt() => Instr::CmpLt;
+    /// Less-or-equal comparison.
+    cmp_le() => Instr::CmpLe;
+    /// Call a function.
+    call(f: FuncId) => Instr::Call(f);
+    /// Enter a security region.
+    call_secure(f: FuncId, r: RegionSpecId) => Instr::CallSecure(f, r);
+    /// Return from the function.
+    ret() => Instr::Return;
+    /// Copy-and-relabel the object on top of the stack.
+    copy_and_label(p: PairSpecId) => Instr::CopyAndLabel(p);
+    /// Throw an application exception (code on stack).
+    throw() => Instr::Throw;
+    /// Write a byte (on stack) to an OS file.
+    os_write_byte(s: StrId) => Instr::OsWriteByte(s);
+    /// Read a byte from an OS file.
+    os_read_byte(s: StrId) => Instr::OsReadByte(s);
+    /// No-op.
+    nop() => Instr::Nop;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assembles_straightline_code() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("f", 0, true, 0, |b| {
+            b.push_int(1).push_int(2).add().ret();
+        });
+        let p = pb.finish().unwrap();
+        assert_eq!(p.functions[0].body.len(), 4);
+    }
+
+    #[test]
+    fn labels_patch_forward_references() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("f", 1, true, 1, |b| {
+            let els = b.new_label();
+            let done = b.new_label();
+            b.load(0).push_int(0).cmp_lt();
+            b.jump_if_true(els);
+            b.push_int(1).jump(done);
+            b.bind(els);
+            b.push_int(-1);
+            b.bind(done);
+            b.ret();
+        });
+        let p = pb.finish().unwrap();
+        let body = &p.functions[0].body;
+        assert!(matches!(body[3], Instr::JumpIfTrue(t) if t == 6));
+        assert!(matches!(body[5], Instr::Jump(t) if t == 7));
+    }
+
+    #[test]
+    fn implicit_return_appended() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("f", 0, false, 0, |b| {
+            b.push_int(1).pop();
+        });
+        let p = pb.finish().unwrap();
+        assert_eq!(*p.functions[0].body.last().unwrap(), Instr::Return);
+    }
+
+    #[test]
+    fn undefined_function_rejected() {
+        let mut pb = ProgramBuilder::new();
+        pb.declare_func("ghost", 0, false);
+        assert!(matches!(pb.finish(), Err(VmError::Verify(_))));
+    }
+
+    #[test]
+    fn pair_spec_tracks_tag_count() {
+        let mut pb = ProgramBuilder::new();
+        pb.add_pair_spec(&[0, 3], &[1]);
+        pb.func("f", 0, false, 0, |b| {
+            b.nop();
+        });
+        let p = pb.finish().unwrap();
+        assert_eq!(p.tags_used, 4);
+    }
+
+    #[test]
+    fn func_by_name() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("alpha", 0, false, 0, |b| {
+            b.nop();
+        });
+        let p = pb.finish().unwrap();
+        assert_eq!(p.func_by_name("alpha"), Some(FuncId(0)));
+        assert_eq!(p.func_by_name("beta"), None);
+    }
+}

@@ -1,0 +1,111 @@
+//! Runtime values of the MiniVM.
+
+use std::fmt;
+
+/// Reference to a heap object (index into the VM heap).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ObjRef(pub(crate) u32);
+
+impl fmt::Display for ObjRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj#{}", self.0)
+    }
+}
+
+/// A MiniVM value: the operand-stack and field/array element type.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum Value {
+    /// The null reference (also the default field value).
+    #[default]
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// Heap reference.
+    Ref(ObjRef),
+}
+
+impl Value {
+    /// Interprets the value as an integer.
+    ///
+    /// # Errors
+    /// [`crate::VmError::TypeError`] if it is not an `Int`.
+    pub fn as_int(self) -> Result<i64, crate::VmError> {
+        match self {
+            Value::Int(i) => Ok(i),
+            _ => Err(crate::VmError::TypeError("expected int")),
+        }
+    }
+
+    /// Interprets the value as a boolean.
+    ///
+    /// # Errors
+    /// [`crate::VmError::TypeError`] if it is not a `Bool`.
+    pub fn as_bool(self) -> Result<bool, crate::VmError> {
+        match self {
+            Value::Bool(b) => Ok(b),
+            _ => Err(crate::VmError::TypeError("expected bool")),
+        }
+    }
+
+    /// Interprets the value as a non-null reference.
+    ///
+    /// # Errors
+    /// [`crate::VmError::NullPointer`] on null;
+    /// [`crate::VmError::TypeError`] on a non-reference.
+    pub fn as_ref(self) -> Result<ObjRef, crate::VmError> {
+        match self {
+            Value::Ref(r) => Ok(r),
+            Value::Null => Err(crate::VmError::NullPointer),
+            _ => Err(crate::VmError::TypeError("expected reference")),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<ObjRef> for Value {
+    fn from(r: ObjRef) -> Self {
+        Value::Ref(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(5i64).as_int().unwrap(), 5);
+        assert!(Value::from(true).as_bool().unwrap());
+        let r = ObjRef(3);
+        assert_eq!(Value::from(r).as_ref().unwrap(), r);
+    }
+
+    #[test]
+    fn wrong_kind_errors() {
+        assert!(Value::Bool(true).as_int().is_err());
+        assert!(Value::Int(1).as_bool().is_err());
+        assert!(Value::Int(1).as_ref().is_err());
+        assert!(matches!(
+            Value::Null.as_ref(),
+            Err(crate::VmError::NullPointer)
+        ));
+    }
+
+    #[test]
+    fn default_is_null() {
+        assert_eq!(Value::default(), Value::Null);
+    }
+}

@@ -1,0 +1,60 @@
+//! FreeCS chat server (§7.4): roles as integrity tags.
+//!
+//! The ban list carries two integrity tags — VIP and the group's
+//! superuser — so only a principal holding *both* `+` capabilities can
+//! write it. The authentication module hands out capabilities at login;
+//! there is not a single `if role == ...` check left in the secured
+//! command paths.
+//!
+//! Run with: `cargo run --example chat_server`
+
+use laminar::{Laminar, LaminarError};
+use laminar_apps::freecs::{ChatServer, CmdOutcome};
+
+fn main() -> Result<(), LaminarError> {
+    let system = Laminar::boot();
+    let server = ChatServer::new(&system)?;
+
+    // Users log in; capabilities are granted by role.
+    server.login_user("root", true)?; // VIP
+    server.login_user("mallory", false)?;
+    server.login_user("carol", false)?;
+    server.create_group("general", "root")?; // root is also superuser
+
+    println!("users: root (VIP + superuser of #general), mallory, carol");
+
+    for (who, cmd) in [("mallory", "join"), ("carol", "join")] {
+        let out = server.join(who, "general")?;
+        println!("{who} {cmd}s #general -> {out:?}");
+    }
+    println!("carol says hi -> {:?}", server.say("carol", "general", "hi all")?);
+
+    // mallory misbehaves; only root can ban (VIP ∧ superuser).
+    println!(
+        "carol tries to ban mallory -> {:?}",
+        server.ban("carol", "general", "mallory")?
+    );
+    println!(
+        "root bans mallory -> {:?}",
+        server.ban("root", "general", "mallory")?
+    );
+    println!(
+        "mallory re-joins -> {:?} (banned)",
+        server.join("mallory", "general")?
+    );
+
+    // Themes are superuser-protected; private messages are secrecy-labeled.
+    println!("root sets theme -> {:?}", server.set_theme("root", "general", "midnight")?);
+    println!("theme is now '{}'", server.theme("general")?);
+    server.msg("carol", "root", "thanks for dealing with mallory")?;
+    println!("root's inbox: {:?}", server.read_inbox("root")?);
+
+    assert_eq!(server.join("mallory", "general")?, CmdOutcome::Denied);
+    let stats = server.stats();
+    println!();
+    println!(
+        "stats: {} regions, {} labeled writes, {} dynamic barrier dispatches",
+        stats.regions_entered, stats.labeled_writes, stats.dynamic_dispatches
+    );
+    Ok(())
+}

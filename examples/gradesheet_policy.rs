@@ -1,0 +1,45 @@
+//! GradeSheet (§7.1): the Table 4 policy in action — per-cell
+//! heterogeneously labeled data, which OS-granularity DIFC systems
+//! cannot express.
+//!
+//! Run with: `cargo run --example gradesheet_policy`
+
+use laminar::{Laminar, LaminarError};
+use laminar_apps::gradesheet::GradeSheet;
+
+fn main() -> Result<(), LaminarError> {
+    let system = Laminar::boot();
+    let gs = GradeSheet::new(&system, 3, 2)?;
+
+    println!("{}", gs.policy_table());
+
+    // The professor grades everyone.
+    for i in 0..3 {
+        for j in 0..2 {
+            gs.professor_set(i, j, 70 + (i * 10 + j) as i64)?;
+        }
+    }
+    println!("professor entered all grades");
+
+    // TA 0 regrades a submission for project 0 — her project.
+    gs.ta_set(0, 1, 0, 95)?;
+    println!("TA(0) regraded student 1 on project 0 -> allowed");
+
+    // TA 0 cannot touch project 1 (no p_1 endorsement).
+    match gs.ta_set(0, 1, 1, 0) {
+        Err(e) => println!("TA(0) writing project 1 -> denied ({e})"),
+        Ok(()) => panic!("policy violation!"),
+    }
+
+    // Students see exactly their own marks.
+    println!("student 1 reads own project-0 mark: {}", gs.student_read(1, 0)?);
+    match gs.student_read_other(0, 1, 0) {
+        Err(e) => println!("student 0 reading student 1 -> denied ({e})"),
+        Ok(_) => panic!("policy violation!"),
+    }
+
+    // Only the professor can compute (and declassify) the average — the
+    // leak Laminar exposed in the original policy.
+    println!("professor's declassified class average (project 0): {}", gs.professor_average(0)?);
+    Ok(())
+}

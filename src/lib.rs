@@ -1,0 +1,13 @@
+//! # laminar-suite
+//!
+//! The workspace umbrella: hosts the cross-crate integration tests in
+//! `tests/` and the runnable examples in `examples/`. Re-exports the
+//! member crates for convenience.
+
+#![forbid(unsafe_code)]
+
+pub use laminar;
+pub use laminar_apps;
+pub use laminar_difc;
+pub use laminar_os;
+pub use laminar_vm;

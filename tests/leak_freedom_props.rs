@@ -1,0 +1,190 @@
+//! Property tests: the *enforcement layers* agree with the *model*.
+//!
+//! For arbitrary label assignments, the OS's file and pipe mediation and
+//! the runtime's heap barriers must allow exactly the flows the DIFC
+//! model (`laminar-difc`) allows — no enforcement gap in either
+//! direction. Pipes additionally must never reveal a failure to the
+//! writer (silent-drop semantics).
+
+use laminar::{Laminar, RegionParams};
+use laminar_difc::{CapSet, Label, LabelType, SecPair};
+use laminar_os::{Kernel, LaminarModule, OpenMode, UserId};
+use proptest::prelude::*;
+
+/// A label over a 4-tag universe, as a bitmask strategy.
+fn mask_strategy() -> impl Strategy<Value = u8> {
+    0u8..16
+}
+
+fn label_from_mask(tags: &[laminar_difc::Tag], mask: u8) -> Label {
+    Label::from_tags(
+        tags.iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &t)| t),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// File opens succeed exactly when the model's flow relation allows
+    /// them (secrecy dimension; integrity on paths is covered by
+    /// scenario tests).
+    #[test]
+    fn file_access_matches_model(fmask in mask_strategy(), tmask in mask_strategy()) {
+        let k = Kernel::boot(LaminarModule);
+        k.add_user(UserId(1), "u");
+        let task = k.login(UserId(1)).unwrap();
+        let tags: Vec<_> = (0..4).map(|_| task.alloc_tag().unwrap()).collect();
+
+        let flabel = label_from_mask(&tags, fmask);
+        let tlabel = label_from_mask(&tags, tmask);
+        let fpair = SecPair::secrecy_only(flabel.clone());
+        let tpair = SecPair::secrecy_only(tlabel.clone());
+
+        let fd = task.create_file_labeled("/tmp/f", fpair.clone()).unwrap();
+        task.close(fd).unwrap();
+        task.set_task_label(LabelType::Secrecy, tlabel).unwrap();
+
+        let model_read = fpair.flows_to(&tpair);
+        let model_write = tpair.flows_to(&fpair);
+        prop_assert_eq!(task.open("/tmp/f", OpenMode::Read).is_ok(), model_read);
+        prop_assert_eq!(task.open("/tmp/f", OpenMode::Write).is_ok(), model_write);
+    }
+
+    /// Pipe delivery: a message arrives iff writer→pipe and pipe→reader
+    /// flows are both legal; the writer observes success regardless.
+    #[test]
+    fn pipe_delivery_matches_model(
+        wmask in mask_strategy(),
+        pmask in mask_strategy(),
+        rmask in mask_strategy(),
+    ) {
+        let k = Kernel::boot(LaminarModule);
+        k.add_user(UserId(1), "u");
+        let task = k.login(UserId(1)).unwrap();
+        let tags: Vec<_> = (0..4).map(|_| task.alloc_tag().unwrap()).collect();
+
+        let wl = label_from_mask(&tags, wmask);
+        let pl = label_from_mask(&tags, pmask);
+        let rl = label_from_mask(&tags, rmask);
+
+        // Create the pipe while carrying the pipe's label.
+        task.set_task_label(LabelType::Secrecy, pl.clone()).unwrap();
+        let (r, w) = task.pipe().unwrap();
+
+        // Write under the writer's label: always reports success.
+        task.set_task_label(LabelType::Secrecy, wl.clone()).unwrap();
+        prop_assert_eq!(task.write(w, b"m").unwrap(), 1);
+
+        // Read under the reader's label.
+        task.set_task_label(LabelType::Secrecy, rl.clone()).unwrap();
+        let wp = SecPair::secrecy_only(wl);
+        let pp = SecPair::secrecy_only(pl);
+        let rp = SecPair::secrecy_only(rl);
+        let deliverable = wp.flows_to(&pp);
+        match task.read(r, 4) {
+            Ok(data) => {
+                let readable = pp.flows_to(&rp);
+                prop_assert!(readable, "read succeeded though model forbids");
+                prop_assert_eq!(!data.is_empty(), deliverable);
+            }
+            Err(_) => {
+                prop_assert!(!pp.flows_to(&rp), "read denied though model allows");
+            }
+        }
+    }
+
+    /// Heap barriers: inside a region with arbitrary labels, reads and
+    /// writes of an arbitrarily-labeled cell succeed exactly per model.
+    #[test]
+    fn labeled_cell_access_matches_model(
+        cell_s in mask_strategy(), cell_i in mask_strategy(),
+        reg_s in mask_strategy(), reg_i in mask_strategy(),
+    ) {
+        let sys = Laminar::boot();
+        sys.add_user(UserId(1), "u");
+        let p = sys.login(UserId(1)).unwrap();
+        let tags: Vec<_> = (0..4).map(|_| p.create_tag().unwrap()).collect();
+        let mut all_caps = CapSet::new();
+        for &t in &tags {
+            all_caps.grant_both(t);
+        }
+
+        let cell_pair = SecPair::new(
+            label_from_mask(&tags, cell_s),
+            label_from_mask(&tags, cell_i),
+        );
+        let reg_pair = SecPair::new(
+            label_from_mask(&tags, reg_s),
+            label_from_mask(&tags, reg_i),
+        );
+
+        // Mint the cell inside a region with exactly its labels.
+        let mint = RegionParams::new()
+            .secrecy(cell_pair.secrecy().clone())
+            .integrity(cell_pair.integrity().clone())
+            .grant_all(&all_caps);
+        let cell = p
+            .secure(&mint, |g| Ok(g.new_labeled(1u8)), |_| {})
+            .unwrap()
+            .unwrap();
+
+        let params = RegionParams::new()
+            .secrecy(reg_pair.secrecy().clone())
+            .integrity(reg_pair.integrity().clone())
+            .grant_all(&all_caps);
+        let read_ok = p
+            .secure(&params, |g| cell.read(g, |v| *v), |_| {})
+            .unwrap()
+            .is_some();
+        let write_ok = p
+            .secure(&params, |g| cell.write(g, |v| *v = 2), |_| {})
+            .unwrap()
+            .is_some();
+
+        prop_assert_eq!(read_ok, cell_pair.flows_to(&reg_pair));
+        prop_assert_eq!(write_ok, reg_pair.flows_to(&cell_pair));
+    }
+
+    /// Dynamic barriers agree with static barriers on every label pair.
+    #[test]
+    fn dynamic_and_static_barriers_agree(
+        cell_s in mask_strategy(), reg_s in mask_strategy(),
+    ) {
+        let sys = Laminar::boot();
+        sys.add_user(UserId(1), "u");
+        let p = sys.login(UserId(1)).unwrap();
+        let tags: Vec<_> = (0..4).map(|_| p.create_tag().unwrap()).collect();
+        let mut all_caps = CapSet::new();
+        for &t in &tags {
+            all_caps.grant_both(t);
+        }
+
+        let mint = RegionParams::new()
+            .secrecy(label_from_mask(&tags, cell_s))
+            .grant_all(&all_caps);
+        let cell = p
+            .secure(&mint, |g| Ok(g.new_labeled(0i32)), |_| {})
+            .unwrap()
+            .unwrap();
+
+        let params = RegionParams::new()
+            .secrecy(label_from_mask(&tags, reg_s))
+            .grant_all(&all_caps);
+        let (static_ok, dynamic_ok) = p
+            .secure(
+                &params,
+                |g| {
+                    let s = cell.read(g, |v| *v).is_ok();
+                    let d = cell.read_dyn(|v| *v).is_ok();
+                    Ok((s, d))
+                },
+                |_| {},
+            )
+            .unwrap()
+            .unwrap();
+        prop_assert_eq!(static_ok, dynamic_ok);
+    }
+}

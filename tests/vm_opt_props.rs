@@ -1,0 +1,196 @@
+//! Property tests for the VM's compilation pipeline: for randomly
+//! generated programs, all barrier modes and both optimizer settings
+//! must compute identical results — i.e., barrier insertion and
+//! redundant-barrier elimination are semantics-preserving (the
+//! correctness claim behind §5.1's optimization).
+
+use laminar_vm::{BarrierMode, ClassId, FunctionBuilder, ProgramBuilder, Value, Vm};
+use proptest::prelude::*;
+
+/// One self-contained random statement. Locals: 0 = accumulator (int),
+/// 1 = object (2 int fields), 2 = array (len 8), 3 = scratch object.
+#[derive(Clone, Debug)]
+enum Stmt {
+    AddConst(i8),
+    MulConst(i8),
+    StoreField(u8),
+    LoadField(u8),
+    StoreArray(u8),
+    LoadArray(u8),
+    SwapObjects,
+    FreshObject,
+    /// if (acc % 2 == 0) then-branch else else-branch
+    Branch(Vec<Stmt>, Vec<Stmt>),
+    /// bounded counted loop over the body
+    Loop(u8, Vec<Stmt>),
+}
+
+fn stmt_strategy(depth: u32) -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        any::<i8>().prop_map(Stmt::AddConst),
+        any::<i8>().prop_map(Stmt::MulConst),
+        (0u8..2).prop_map(Stmt::StoreField),
+        (0u8..2).prop_map(Stmt::LoadField),
+        (0u8..8).prop_map(Stmt::StoreArray),
+        (0u8..8).prop_map(Stmt::LoadArray),
+        Just(Stmt::SwapObjects),
+        Just(Stmt::FreshObject),
+    ];
+    leaf.prop_recursive(depth, 24, 6, |inner| {
+        prop_oneof![
+            (
+                prop::collection::vec(inner.clone(), 0..4),
+                prop::collection::vec(inner.clone(), 0..4)
+            )
+                .prop_map(|(t, e)| Stmt::Branch(t, e)),
+            ((1u8..4), prop::collection::vec(inner, 0..4))
+                .prop_map(|(n, b)| Stmt::Loop(n, b)),
+        ]
+    })
+}
+
+fn emit(b: &mut FunctionBuilder, stmt: &Stmt, cls: ClassId) {
+    match stmt {
+        Stmt::AddConst(c) => {
+            b.load(0).push_int(i64::from(*c)).add().store(0);
+        }
+        Stmt::MulConst(c) => {
+            // Keep the accumulator bounded to avoid overflow noise.
+            b.load(0).push_int(i64::from(*c)).mul().push_int(1_000_003).modulo().store(0);
+        }
+        Stmt::StoreField(f) => {
+            b.load(1).load(0).put_field(u16::from(*f));
+        }
+        Stmt::LoadField(f) => {
+            b.load(1).get_field(u16::from(*f)).load(0).add().store(0);
+        }
+        Stmt::StoreArray(i) => {
+            b.load(2).push_int(i64::from(*i)).load(0).astore();
+        }
+        Stmt::LoadArray(i) => {
+            b.load(2).push_int(i64::from(*i)).aload().load(0).add().store(0);
+        }
+        Stmt::SwapObjects => {
+            b.load(1).store(4).load(3).store(1).load(4).store(3);
+        }
+        Stmt::FreshObject => {
+            b.new_object(cls).store(3);
+            b.load(3).push_int(7).put_field(0);
+            b.load(3).push_int(9).put_field(1);
+        }
+        Stmt::Branch(then_b, else_b) => {
+            let els = b.new_label();
+            let done = b.new_label();
+            b.load(0).push_int(2).modulo().push_int(0).cmp_eq();
+            b.jump_if_false(els);
+            for s in then_b {
+                emit(b, s, cls);
+            }
+            b.jump(done);
+            b.bind(els);
+            for s in else_b {
+                emit(b, s, cls);
+            }
+            b.bind(done);
+        }
+        Stmt::Loop(n, body) => {
+            // Use local 5 as the loop counter.
+            b.push_int(i64::from(*n)).store(5);
+            let head = b.new_label();
+            let done = b.new_label();
+            b.bind(head);
+            b.load(5).push_int(0).cmp_le().jump_if_true(done);
+            for s in body {
+                emit(b, s, cls);
+            }
+            b.load(5).push_int(1).sub().store(5);
+            b.jump(head);
+            b.bind(done);
+        }
+    }
+}
+
+fn build_program(stmts: &[Stmt]) -> laminar_vm::Program {
+    let mut pb = ProgramBuilder::new();
+    let cls = pb.add_class("Obj", 2);
+    pb.func("main", 0, true, 6, |b| {
+        // init: acc = 1; two objects with known fields; zeroed array.
+        b.push_int(1).store(0);
+        b.new_object(cls).store(1);
+        b.load(1).push_int(3).put_field(0);
+        b.load(1).push_int(5).put_field(1);
+        b.new_object(cls).store(3);
+        b.load(3).push_int(11).put_field(0);
+        b.load(3).push_int(13).put_field(1);
+        b.push_int(8).new_array().store(2);
+        let mut i = 0;
+        while i < 8 {
+            b.load(2).push_int(i).push_int(0).astore();
+            i += 1;
+        }
+        for s in stmts {
+            emit(b, s, cls);
+        }
+        // fold some heap state into the result
+        b.load(0);
+        b.load(1).get_field(0).add();
+        b.load(1).get_field(1).add();
+        b.load(2).push_int(0).aload().add();
+        b.load(2).push_int(7).aload().add();
+        b.ret();
+    });
+    pb.finish().expect("generated program must verify")
+}
+
+fn run(program: &laminar_vm::Program, mode: BarrierMode, optimize: bool) -> Value {
+    let mut vm = Vm::new(program.clone(), vec![], mode);
+    vm.set_optimize(optimize);
+    vm.call_by_name("main", &[])
+        .expect("generated program must run")
+        .expect("program returns a value")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All five configurations agree on every generated program.
+    #[test]
+    fn barrier_modes_and_optimizer_preserve_semantics(
+        stmts in prop::collection::vec(stmt_strategy(2), 0..12)
+    ) {
+        let program = build_program(&stmts);
+        let reference = run(&program, BarrierMode::None, true);
+        for (mode, opt) in [
+            (BarrierMode::Static, true),
+            (BarrierMode::Static, false),
+            (BarrierMode::Dynamic, true),
+            (BarrierMode::Dynamic, false),
+        ] {
+            prop_assert_eq!(run(&program, mode, opt), reference, "{:?} opt={}", mode, opt);
+        }
+    }
+
+    /// The optimizer only ever removes barriers (never adds), and the
+    /// optimized run executes no more barriers than the unoptimized one.
+    #[test]
+    fn optimizer_is_monotone(
+        stmts in prop::collection::vec(stmt_strategy(2), 0..12)
+    ) {
+        let program = build_program(&stmts);
+        let count = |opt: bool| {
+            let mut vm = Vm::new(program.clone(), vec![], BarrierMode::Static);
+            vm.set_optimize(opt);
+            vm.call_by_name("main", &[]).unwrap();
+            (vm.stats().total_barriers(), vm.stats().barriers_eliminated)
+        };
+        let (with_opt, eliminated) = count(true);
+        let (without_opt, eliminated_off) = count(false);
+        prop_assert!(with_opt <= without_opt);
+        prop_assert_eq!(eliminated_off, 0);
+        // If anything was eliminated at compile time, it must show up as
+        // fewer executed barriers (reachable code) or at least not more.
+        if eliminated > 0 {
+            prop_assert!(with_opt <= without_opt);
+        }
+    }
+}
