@@ -16,9 +16,7 @@ use crate::workload::AppStats;
 use laminar::{Labeled, Laminar, LaminarError, LaminarResult, Principal, RegionParams};
 use laminar_difc::{Capability, Label, SecPair, Tag};
 use laminar_os::{Fd, UserId};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use laminar_util::SplitMix64;
 use std::sync::Arc;
 
 /// Board side length (the paper's experiments use a 15×15 grid).
@@ -41,28 +39,26 @@ impl Board {
     /// Places the fleet deterministically from a seed.
     #[must_use]
     pub fn generate(seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         let mut ship = vec![false; GRID * GRID];
         let mut remaining = 0;
         for &len in &FLEET {
             loop {
-                let horizontal: bool = rng.gen();
-                let (maxx, maxy) = if horizontal {
-                    (GRID - len, GRID)
-                } else {
-                    (GRID, GRID - len)
-                };
+                let horizontal = rng.gen_bool();
+                let (maxx, maxy) =
+                    if horizontal { (GRID - len, GRID) } else { (GRID, GRID - len) };
                 let x = rng.gen_range(0..maxx);
                 let y = rng.gen_range(0..maxy);
-                let cells: Vec<usize> = (0..len)
-                    .map(|k| {
-                        if horizontal {
-                            y * GRID + x + k
-                        } else {
-                            (y + k) * GRID + x
-                        }
-                    })
-                    .collect();
+                let cells: Vec<usize> =
+                    (0..len)
+                        .map(|k| {
+                            if horizontal {
+                                y * GRID + x + k
+                            } else {
+                                (y + k) * GRID + x
+                            }
+                        })
+                        .collect();
                 if cells.iter().all(|&c| !ship[c]) {
                     for &c in &cells {
                         ship[c] = true;
@@ -148,7 +144,7 @@ pub struct Battleship {
     /// Public knowledge per player: which cells were hit. Derived purely
     /// from already-declassified shot outcomes, so the display path
     /// needs no security region at all.
-    public_hits: [parking_lot::Mutex<Vec<bool>>; 2],
+    public_hits: [laminar_util::sync::Mutex<Vec<bool>>; 2],
     /// Emit the public board after each move (the "deployed" variant in
     /// which Laminar overhead drops to ~1%).
     pub display: bool,
@@ -196,8 +192,8 @@ impl Battleship {
             ],
             placement_seed: seed,
             public_hits: [
-                parking_lot::Mutex::new(vec![false; GRID * GRID]),
-                parking_lot::Mutex::new(vec![false; GRID * GRID]),
+                laminar_util::sync::Mutex::new(vec![false; GRID * GRID]),
+                laminar_util::sync::Mutex::new(vec![false; GRID * GRID]),
             ],
             display,
             display_sink,
@@ -247,14 +243,15 @@ impl Battleship {
         self.reset()?;
         let mut orders: Vec<Vec<(usize, usize)>> = Vec::new();
         for k in 0..2u64 {
-            let mut cells: Vec<(usize, usize)> = (0..GRID * GRID)
-                .map(|c| (c % GRID, c / GRID))
-                .collect();
-            cells.shuffle(&mut StdRng::seed_from_u64(seed.wrapping_add(k)));
+            let mut cells: Vec<(usize, usize)> =
+                (0..GRID * GRID).map(|c| (c % GRID, c / GRID)).collect();
+            SplitMix64::new(seed.wrapping_add(k)).shuffle(&mut cells);
             orders.push(cells);
         }
         let mut shots = 0u64;
         let mut hits = 0u64;
+        #[allow(clippy::needless_range_loop)] // round/attacker index two
+        // parallel shot orders and pick the defender as `1 - attacker`
         for round in 0..GRID * GRID {
             for attacker in 0..2 {
                 let defender = 1 - attacker;
@@ -262,7 +259,7 @@ impl Battleship {
                 shots += 1;
                 // Per-move protocol handling (turn bookkeeping, message
                 // serialisation) shared with the baseline.
-                crate::workload::request_work(&["shot"], SHOT_UNITS);
+                let _ = crate::workload::request_work(&["shot"], SHOT_UNITS);
                 // Attacker sends the guess over the unlabeled pipe.
                 let att = &self.players[attacker];
                 att.principal.task().write(att.tx, &[x as u8, y as u8])?;
@@ -314,7 +311,7 @@ impl Battleship {
         // outcomes, so no security region is needed: exactly why the
         // paper's display variant dilutes Laminar's overhead to ~1%.
         // The terminal redraw itself is the expensive part.
-        crate::workload::request_work(&["frame", "redraw"], DISPLAY_UNITS);
+        let _ = crate::workload::request_work(&["frame", "redraw"], DISPLAY_UNITS);
         let mask = self.public_hits[defender].lock();
         let mut rendered = String::with_capacity(GRID * (GRID + 1));
         for y in 0..GRID {
@@ -325,10 +322,7 @@ impl Battleship {
         }
         drop(mask);
         if let Some(fd) = self.display_sink {
-            self.players[0]
-                .principal
-                .task()
-                .write(fd, rendered.as_bytes())?;
+            self.players[0].principal.task().write(fd, rendered.as_bytes())?;
         }
         Ok(())
     }
@@ -411,22 +405,24 @@ impl BaselineBattleship {
         ];
         let mut orders: Vec<Vec<(usize, usize)>> = Vec::new();
         for k in 0..2u64 {
-            let mut cells: Vec<(usize, usize)> = (0..GRID * GRID)
-                .map(|c| (c % GRID, c / GRID))
-                .collect();
-            cells.shuffle(&mut StdRng::seed_from_u64(seed.wrapping_add(k)));
+            let mut cells: Vec<(usize, usize)> =
+                (0..GRID * GRID).map(|c| (c % GRID, c / GRID)).collect();
+            SplitMix64::new(seed.wrapping_add(k)).shuffle(&mut cells);
             orders.push(cells);
         }
         let mut shots = 0u64;
         let mut hits = 0u64;
+        #[allow(clippy::needless_range_loop)] // round/attacker index two
+        // parallel shot orders and pick the defender as `1 - attacker`
         for round in 0..GRID * GRID {
             for attacker in 0..2 {
                 let defender = 1 - attacker;
                 let (x, y) = orders[attacker][round];
                 shots += 1;
-                crate::workload::request_work(&["shot"], SHOT_UNITS);
+                let _ = crate::workload::request_work(&["shot"], SHOT_UNITS);
                 // Same message exchange as the secured game...
-                self.tasks[attacker].write(self.pipes[attacker].1, &[x as u8, y as u8])?;
+                self.tasks[attacker]
+                    .write(self.pipes[attacker].1, &[x as u8, y as u8])?;
                 let guess = self.tasks[defender].read(self.pipes[defender].0, 2)?;
                 // ...but the defender inspects his plain board directly.
                 let (hit, sunk) =
@@ -435,7 +431,10 @@ impl BaselineBattleship {
                     hits += 1;
                 }
                 if self.display {
-                    crate::workload::request_work(&["frame", "redraw"], DISPLAY_UNITS);
+                    let _ = crate::workload::request_work(
+                        &["frame", "redraw"],
+                        DISPLAY_UNITS,
+                    );
                     let rendered = self.boards[defender].render_public();
                     if let Some(fd) = self.display_sink {
                         self.tasks[0].write(fd, rendered.as_bytes())?;
@@ -482,8 +481,8 @@ mod tests {
         // Find a ship cell.
         let c = b.ship.iter().position(|&s| s).unwrap();
         let (x, y) = (c % GRID, c / GRID);
-        assert_eq!(b.shoot(x, y).0, true);
-        assert_eq!(b.shoot(x, y).0, false);
+        assert!(b.shoot(x, y).0);
+        assert!(!b.shoot(x, y).0);
     }
 
     #[test]

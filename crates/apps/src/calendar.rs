@@ -86,12 +86,10 @@ impl CalendarSystem {
         let scheduler = sched_login.spawn_thread(Some(sched_caps))?;
 
         // Output file: labeled {S(a)} so Alice can read the meeting.
-        let fd = scheduler
-            .task()
-            .create_file_labeled(
-                "/tmp/meeting_alice.txt",
-                SecPair::secrecy_only(Label::singleton(tag_a)),
-            )?;
+        let fd = scheduler.task().create_file_labeled(
+            "/tmp/meeting_alice.txt",
+            SecPair::secrecy_only(Label::singleton(tag_a)),
+        )?;
         scheduler.task().close(fd)?;
 
         Ok(CalendarSystem { alice, bob, scheduler, tag_a, tag_b })
@@ -242,7 +240,7 @@ impl CalendarSystem {
         let mut check = 0u64;
         for k in 0..n {
             let earliest = (k % 200) as u8;
-            crate::workload::request_work(&["VEVENT", "render"], REQUEST_UNITS);
+            let _ = crate::workload::request_work(&["VEVENT", "render"], REQUEST_UNITS);
             check = check.wrapping_add(u64::from(self.schedule_meeting(earliest)?));
         }
         Ok(check)
@@ -347,7 +345,7 @@ impl BaselineCalendar {
         let mut check = 0u64;
         for k in 0..n {
             let earliest = (k % 200) as u8;
-            crate::workload::request_work(&["VEVENT", "render"], REQUEST_UNITS);
+            let _ = crate::workload::request_work(&["VEVENT", "render"], REQUEST_UNITS);
             check = check.wrapping_add(u64::from(self.schedule_meeting(earliest)?));
         }
         Ok(check)

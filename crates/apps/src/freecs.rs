@@ -19,7 +19,7 @@ use crate::workload::AppStats;
 use laminar::{Labeled, Laminar, LaminarError, LaminarResult, Principal, RegionParams};
 use laminar_difc::{Capability, Label, SecPair, Tag};
 use laminar_os::UserId;
-use parking_lot::Mutex;
+use laminar_util::sync::Mutex;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -96,13 +96,9 @@ impl ChatServer {
         // Grant via kernel-mediated capability transfer (Fig. 3): the
         // server writes the role capabilities into a pipe the user reads.
         let (rx, tx) = self.server.task().pipe()?;
-        self.server
-            .task()
-            .write_capability(Capability::plus(self.member_tag), tx)?;
+        self.server.task().write_capability(Capability::plus(self.member_tag), tx)?;
         if vip {
-            self.server
-                .task()
-                .write_capability(Capability::plus(self.vip_tag), tx)?;
+            self.server.task().write_capability(Capability::plus(self.vip_tag), tx)?;
         }
         let principal = self.server.spawn_thread(Some(laminar_difc::CapSet::new()))?;
         principal.receive_capability(rx)?;
@@ -113,10 +109,9 @@ impl ChatServer {
         let inbox = self.make_inbox(&principal, tag)?;
         self.server.task().close(rx)?;
         self.server.task().close(tx)?;
-        self.users.lock().insert(
-            name.to_string(),
-            Arc::new(User { principal, tag, inbox, vip }),
-        );
+        self.users
+            .lock()
+            .insert(name.to_string(), Arc::new(User { principal, tag, inbox, vip }));
         Ok(())
     }
 
@@ -375,7 +370,12 @@ impl ChatServer {
     ///
     /// # Errors
     /// Propagates lookup failures.
-    pub fn kick(&self, who: &str, group: &str, victim: &str) -> LaminarResult<CmdOutcome> {
+    pub fn kick(
+        &self,
+        who: &str,
+        group: &str,
+        victim: &str,
+    ) -> LaminarResult<CmdOutcome> {
         let user = self.user(who)?;
         let g = self.group(group)?;
         let params = RegionParams::new()
@@ -444,12 +444,8 @@ impl ChatServer {
     /// # Errors
     /// Propagates region failures.
     pub fn list_groups(&self) -> LaminarResult<Vec<(String, usize)>> {
-        let groups: Vec<(String, Arc<Group>)> = self
-            .groups
-            .lock()
-            .iter()
-            .map(|(k, v)| (k.clone(), Arc::clone(v)))
-            .collect();
+        let groups: Vec<(String, Arc<Group>)> =
+            self.groups.lock().iter().map(|(k, v)| (k.clone(), Arc::clone(v))).collect();
         let mut out = Vec::new();
         for (name, g) in groups {
             let count = self
@@ -472,7 +468,11 @@ impl ChatServer {
     pub fn theme(&self, group: &str) -> LaminarResult<String> {
         let g = self.group(group)?;
         self.server
-            .secure(&RegionParams::new(), |guard| g.theme.read(guard, Clone::clone), |_| {})?
+            .secure(
+                &RegionParams::new(),
+                |guard| g.theme.read(guard, Clone::clone),
+                |_| {},
+            )?
             .ok_or(LaminarError::App("theme read suppressed".into()))
     }
 
@@ -554,15 +554,15 @@ impl ChatServer {
         let names: Vec<String> = (0..users).map(|i| format!("u{i}")).collect();
         let mut ok = 0u64;
         for n in &names {
-            crate::workload::request_work(&["JOIN", group, n], REQUEST_UNITS);
+            let _ = crate::workload::request_work(&["JOIN", group, n], REQUEST_UNITS);
             if self.join(n, group)? == CmdOutcome::Ok {
                 ok += 1;
             }
-            crate::workload::request_work(&["SAY", group, n], REQUEST_UNITS);
+            let _ = crate::workload::request_work(&["SAY", group, n], REQUEST_UNITS);
             if self.say(n, group, "hello")? == CmdOutcome::Ok {
                 ok += 1;
             }
-            crate::workload::request_work(&["THEME?", group], REQUEST_UNITS);
+            let _ = crate::workload::request_work(&["THEME?", group], REQUEST_UNITS);
             self.theme(group)?;
             ok += 1;
         }
@@ -664,15 +664,15 @@ impl BaselineChatServer {
         let names: Vec<String> = (0..users).map(|i| format!("u{i}")).collect();
         let mut ok = 0u64;
         for n in &names {
-            crate::workload::request_work(&["JOIN", group, n], REQUEST_UNITS);
+            let _ = crate::workload::request_work(&["JOIN", group, n], REQUEST_UNITS);
             if self.join(n, group) == CmdOutcome::Ok {
                 ok += 1;
             }
-            crate::workload::request_work(&["SAY", group, n], REQUEST_UNITS);
+            let _ = crate::workload::request_work(&["SAY", group, n], REQUEST_UNITS);
             if self.say(n, group, "hello") == CmdOutcome::Ok {
                 ok += 1;
             }
-            crate::workload::request_work(&["THEME?", group], REQUEST_UNITS);
+            let _ = crate::workload::request_work(&["THEME?", group], REQUEST_UNITS);
             let _ = self.theme(group);
             ok += 1;
         }
@@ -724,14 +724,8 @@ mod tests {
     #[test]
     fn theme_is_superuser_only() {
         let (_sys, srv) = server_with_group();
-        assert_eq!(
-            srv.set_theme("owner", "lobby", "retro").unwrap(),
-            CmdOutcome::Ok
-        );
-        assert_eq!(
-            srv.set_theme("pleb", "lobby", "hax").unwrap(),
-            CmdOutcome::Denied
-        );
+        assert_eq!(srv.set_theme("owner", "lobby", "retro").unwrap(), CmdOutcome::Ok);
+        assert_eq!(srv.set_theme("pleb", "lobby", "hax").unwrap(), CmdOutcome::Denied);
         assert_eq!(srv.theme("lobby").unwrap(), "retro");
     }
 

@@ -83,6 +83,8 @@ impl GradeSheet {
         // The professor allocates every cell inside a region carrying the
         // cell's labels.
         let mut cells = Vec::with_capacity(n);
+        #[allow(clippy::needless_range_loop)] // i/j index students and
+        // projects in lock-step with the cell grid being built
         for i in 0..n {
             let mut row = Vec::with_capacity(m);
             for j in 0..m {
@@ -130,9 +132,8 @@ impl GradeSheet {
         let all = Label::from_tags(students.iter().copied());
         let mut avg_params = RegionParams::new().secrecy(all);
         for &st in &students {
-            avg_params = avg_params
-                .grant(Capability::plus(st))
-                .grant(Capability::minus(st));
+            avg_params =
+                avg_params.grant(Capability::plus(st)).grant(Capability::minus(st));
         }
         let project_integrity: Vec<SecPair> = (0..m)
             .map(|j| SecPair::integrity_only(Label::singleton(projects[j])))
@@ -164,7 +165,6 @@ impl GradeSheet {
     pub fn projects(&self) -> usize {
         self.projects.len()
     }
-
 
     /// The professor sets any grade.
     ///
@@ -250,8 +250,11 @@ impl GradeSheet {
             .secrecy(Label::singleton(self.students[victim]))
             .grant(Capability::plus(self.students[victim]));
         let cell = &self.cells[victim][j];
-        match self.student_threads[who].secure(&params, |g| cell.read(g, |v| *v), |_| {})?
-        {
+        match self.student_threads[who].secure(
+            &params,
+            |g| cell.read(g, |v| *v),
+            |_| {},
+        )? {
             Some(v) => Ok(v),
             None => Err(LaminarError::App("read suppressed".into())),
         }
@@ -339,10 +342,13 @@ impl GradeSheet {
         for k in 0..q {
             let i = k % n;
             let j = k % m;
-            check = check.wrapping_add(crate::workload::request_work(
-                &["query", "student", "project"],
-                REQUEST_UNITS,
-            ) as i64 & 0xff);
+            check = check.wrapping_add(
+                crate::workload::request_work(
+                    &["query", "student", "project"],
+                    REQUEST_UNITS,
+                ) as i64
+                    & 0xff,
+            );
             match k % 4 {
                 0 => self.professor_set(i, j, (k % 100) as i64)?,
                 1 => self.ta_set(j, i, j, (k % 100) as i64)?,
@@ -430,10 +436,13 @@ impl BaselineGradeSheet {
         for k in 0..q {
             let i = k % n;
             let j = k % m;
-            check = check.wrapping_add(crate::workload::request_work(
-                &["query", "student", "project"],
-                REQUEST_UNITS,
-            ) as i64 & 0xff);
+            check = check.wrapping_add(
+                crate::workload::request_work(
+                    &["query", "student", "project"],
+                    REQUEST_UNITS,
+                ) as i64
+                    & 0xff,
+            );
             match k % 4 {
                 0 => self.set(Role::Professor, i, j, (k % 100) as i64)?,
                 1 => self.set(Role::Ta(j), i, j, (k % 100) as i64)?,

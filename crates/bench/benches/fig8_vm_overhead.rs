@@ -75,7 +75,13 @@ fn main() {
     println!();
     let header = format!(
         "{:<14} {:>10} {:>9} {:>9} {:>9} {:>13} {:>11} {:>10}",
-        "benchmark", "base(ms)", "static%", "dynamic%", "cloning%", "static-noopt%", "dyn-noopt%",
+        "benchmark",
+        "base(ms)",
+        "static%",
+        "dynamic%",
+        "cloning%",
+        "static-noopt%",
+        "dyn-noopt%",
         "elim-bars"
     );
     println!("{header}");
@@ -138,9 +144,8 @@ fn main() {
         geomean_overhead(&dynamic_no)
     );
     let n = compile_ratios.len() as f64;
-    let (s_ratio, d_ratio) = compile_ratios
-        .iter()
-        .fold((0.0, 0.0), |(a, b), (s, d)| (a + s / n, b + d / n));
+    let (s_ratio, d_ratio) =
+        compile_ratios.iter().fold((0.0, 0.0), |(a, b), (s, d)| (a + s / n, b + d / n));
     println!(
         "compile-cost ratio:      static {s_ratio:.1}x   dynamic {d_ratio:.1}x   (paper: ~2x / ~3x)"
     );

@@ -11,7 +11,7 @@
 //! in the display variant), Calendar +14%, FreeCS <1%.
 
 use laminar::{Labeled, Laminar, RegionParams};
-use laminar_apps::battleship::{Battleship, BaselineBattleship};
+use laminar_apps::battleship::{BaselineBattleship, Battleship};
 use laminar_apps::calendar::{BaselineCalendar, CalendarSystem};
 use laminar_apps::freecs::{BaselineChatServer, ChatServer};
 use laminar_apps::gradesheet::{BaselineGradeSheet, GradeSheet};
@@ -45,10 +45,7 @@ fn unit_costs() -> UnitCosts {
         }
     }) / N;
 
-    let cell = p
-        .secure(&params, |g| Ok(g.new_labeled(0u64)), |_| {})
-        .unwrap()
-        .unwrap();
+    let cell = p.secure(&params, |g| Ok(g.new_labeled(0u64)), |_| {}).unwrap().unwrap();
     let alloc = median_time(TRIALS, || {
         p.secure(
             &params,
@@ -61,7 +58,7 @@ fn unit_costs() -> UnitCosts {
             |_| {},
         )
         .unwrap();
-    }) / (64 * 1) as u32;
+    }) / 64u32;
 
     let access = median_time(TRIALS, || {
         p.secure(
@@ -112,7 +109,8 @@ struct AppRow {
 }
 
 fn breakdown(stats: &laminar_apps::AppStats, u: &UnitCosts) -> (f64, f64, f64, f64) {
-    let static_accesses = stats.labeled_reads + stats.labeled_writes - stats.dynamic_dispatches.min(stats.labeled_reads + stats.labeled_writes);
+    let static_accesses = stats.labeled_reads + stats.labeled_writes
+        - stats.dynamic_dispatches.min(stats.labeled_reads + stats.labeled_writes);
     (
         stats.regions_entered as f64 * u.region_ns,
         stats.labeled_allocs as f64 * u.alloc_ns,

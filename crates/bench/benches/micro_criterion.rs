@@ -1,97 +1,224 @@
-//! Criterion microbenchmarks of Laminar's primitive operations: label
-//! lattice math, flow checks, labeled-cell barriers (static vs dynamic),
-//! region entry/exit and the kernel's hot syscall path. These are the
-//! unit costs the Figure 9 decomposition builds on.
+//! Microbenchmarks of Laminar's primitive operations: label lattice
+//! math, flow checks (uncached structural walk vs the interned-id memo
+//! cache), labeled-cell barriers (static vs dynamic), region entry/exit
+//! and the kernel's hot syscall path. These are the unit costs the
+//! Figure 9 decomposition builds on.
+//!
+//! The harness is hand-rolled (median-of-trials over fixed-count inner
+//! loops) so it runs with zero external crates in offline CI. The
+//! cached-vs-uncached section also prints the flow-cache hit rate over
+//! the workload, which must exceed 90% on repeated checks.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use laminar::{Laminar, RegionParams};
-use laminar_difc::{Capability, Label, SecPair, Tag};
+use laminar_bench::{interleaved_medians, median_time};
+use laminar_difc::{flow_cache_stats, Capability, Label, SecPair, Tag};
 use laminar_os::{Kernel, LaminarModule, NullModule, OpenMode, UserId};
+use laminar_util::SplitMix64;
+use std::time::Duration;
 
-fn labels(c: &mut Criterion) {
-    let a = Label::from_tags((1..8).map(Tag::from_raw));
-    let b = Label::from_tags((4..12).map(Tag::from_raw));
-    c.bench_function("label_subset", |bench| {
-        bench.iter(|| std::hint::black_box(a.is_subset_of(&b)))
-    });
-    c.bench_function("label_union", |bench| {
-        bench.iter(|| std::hint::black_box(a.union(&b)))
-    });
-    let pa = SecPair::secrecy_only(a.clone());
-    let pb = SecPair::secrecy_only(b.clone());
-    c.bench_function("flow_check", |bench| {
-        bench.iter(|| std::hint::black_box(pa.flows_to(&pb)))
-    });
+const TRIALS: usize = 15;
+
+fn ns_per_op(d: Duration, iters: u64) -> f64 {
+    d.as_nanos() as f64 / iters as f64
 }
 
-fn regions_and_barriers(c: &mut Criterion) {
+fn report(name: &str, d: Duration, iters: u64) {
+    println!("{name:<34} {:>10.1} ns/op", ns_per_op(d, iters));
+}
+
+/// Label lattice primitives over medium-width labels.
+fn labels() {
+    println!("\n== label lattice primitives ==");
+    let a = Label::from_tags((1..8).map(Tag::from_raw));
+    let b = Label::from_tags((4..12).map(Tag::from_raw));
+    const N: u64 = 100_000;
+
+    let d = median_time(TRIALS, || {
+        for _ in 0..N {
+            std::hint::black_box(a.is_subset_of(std::hint::black_box(&b)));
+        }
+    });
+    report("label_subset (uncached)", d, N);
+
+    let d = median_time(TRIALS, || {
+        for _ in 0..N {
+            std::hint::black_box(a.is_subset_of_cached(std::hint::black_box(&b)));
+        }
+    });
+    report("label_subset (cached)", d, N);
+
+    let d = median_time(TRIALS, || {
+        for _ in 0..N {
+            std::hint::black_box(a.union(std::hint::black_box(&b)));
+        }
+    });
+    report("label_union", d, N);
+
+    let pa = SecPair::secrecy_only(a.clone());
+    let pb = SecPair::secrecy_only(b.clone());
+    let d = median_time(TRIALS, || {
+        for _ in 0..N {
+            std::hint::black_box(pa.flows_to(std::hint::black_box(&pb)));
+        }
+    });
+    report("flow_check (uncached)", d, N);
+
+    let d = median_time(TRIALS, || {
+        for _ in 0..N {
+            std::hint::black_box(pa.flows_to_cached(std::hint::black_box(&pb)));
+        }
+    });
+    report("flow_check (cached)", d, N);
+}
+
+/// The tentpole comparison: repeated flow checks over a realistic
+/// working set of wide labels, uncached structural walk vs the
+/// interned-id memo cache, with the observed hit rate.
+///
+/// The working set is a *nested chain* of compartment labels (secrecy
+/// growing, integrity shrinking), so `pair_i` flows to `pair_j` exactly
+/// when `i <= j` — half the checks succeed. Successful subset checks are
+/// the expensive case for the structural walk (it must scan the whole
+/// superset; failures early-exit), and they dominate real enforcement,
+/// where almost every mediated access is a permitted one.
+fn cached_vs_uncached_workload() {
+    println!("\n== flow-check cache: repeated-check workload ==");
+    let mut rng = SplitMix64::new(0xBEEF);
+    let mut s_universe: Vec<u64> = (1..=256).collect();
+    let mut i_universe: Vec<u64> = (1_000..1_256).collect();
+    rng.shuffle(&mut s_universe);
+    rng.shuffle(&mut i_universe);
+    let working_set: Vec<SecPair> = (0..16usize)
+        .map(|k| {
+            let s = Label::from_tags(
+                s_universe[..16 + k * 8].iter().map(|&t| Tag::from_raw(t)),
+            );
+            let i = Label::from_tags(
+                i_universe[..16 + (15 - k) * 8].iter().map(|&t| Tag::from_raw(t)),
+            );
+            SecPair::new(s, i)
+        })
+        .collect();
+
+    const ROUNDS: u64 = 2_000;
+    let checks = ROUNDS * (16 * 16);
+
+    // Warm the cache so the cached side measures steady state (real
+    // enforcement reaches steady state within one pass of the workload).
+    for a in &working_set {
+        for b in &working_set {
+            std::hint::black_box(a.flows_to_cached(b));
+        }
+    }
+
+    let before = flow_cache_stats();
+    let (uncached, cached) = interleaved_medians(
+        TRIALS,
+        || {
+            for _ in 0..ROUNDS {
+                for a in &working_set {
+                    for b in &working_set {
+                        std::hint::black_box(a.flows_to(std::hint::black_box(b)));
+                    }
+                }
+            }
+        },
+        || {
+            for _ in 0..ROUNDS {
+                for a in &working_set {
+                    for b in &working_set {
+                        std::hint::black_box(a.flows_to_cached(std::hint::black_box(b)));
+                    }
+                }
+            }
+        },
+    );
+    let after = flow_cache_stats();
+
+    report("flow_check uncached (16x16 set)", uncached, checks);
+    report("flow_check cached   (16x16 set)", cached, checks);
+    let speedup = uncached.as_secs_f64() / cached.as_secs_f64().max(1e-12);
+    let answered = (after.hits + after.fast_hits) - (before.hits + before.fast_hits);
+    let missed = after.misses - before.misses;
+    let rate = answered as f64 / (answered + missed).max(1) as f64;
+    println!("cached speedup: {speedup:.1}x   hit rate: {:.2}%", rate * 100.0);
+    println!(
+        "cache totals: {} hits, {} fast hits, {} misses, {} inserts, {} entries",
+        after.hits, after.fast_hits, after.misses, after.inserts, after.entries
+    );
+    assert!(rate > 0.90, "repeated-check workload must exceed 90% hit rate");
+}
+
+/// Region entry/exit and the heap barriers.
+fn regions_and_barriers() {
+    println!("\n== regions and barriers ==");
     let sys = Laminar::boot();
     sys.add_user(UserId(1), "bench");
     let p = sys.login(UserId(1)).unwrap();
     let t = p.create_tag().unwrap();
-    let params = RegionParams::new()
-        .secrecy(Label::singleton(t))
-        .grant(Capability::plus(t));
+    let params =
+        RegionParams::new().secrecy(Label::singleton(t)).grant(Capability::plus(t));
 
-    c.bench_function("region_enter_exit", |bench| {
-        bench.iter(|| p.secure(&params, |_| Ok(()), |_| {}).unwrap())
+    const N: u64 = 5_000;
+    let d = median_time(TRIALS, || {
+        for _ in 0..N {
+            p.secure(&params, |_| Ok(()), |_| {}).unwrap();
+        }
     });
+    report("region_enter_exit", d, N);
 
-    let cell = p
-        .secure(&params, |g| Ok(g.new_labeled(7u64)), |_| {})
-        .unwrap()
-        .unwrap();
-    c.bench_function("static_barrier_read", |bench| {
-        bench.iter(|| {
+    let cell = p.secure(&params, |g| Ok(g.new_labeled(7u64)), |_| {}).unwrap().unwrap();
+    let d = median_time(TRIALS, || {
+        for _ in 0..N {
             p.secure(&params, |g| cell.read(g, |v| std::hint::black_box(*v)), |_| {})
-                .unwrap()
-        })
+                .unwrap();
+        }
     });
-    c.bench_function("dynamic_barrier_read", |bench| {
-        bench.iter(|| {
-            p.secure(
-                &params,
-                |_| cell.read_dyn(|v| std::hint::black_box(*v)),
-                |_| {},
-            )
-            .unwrap()
-        })
+    report("static_barrier_read", d, N);
+
+    let d = median_time(TRIALS, || {
+        for _ in 0..N {
+            p.secure(&params, |_| cell.read_dyn(|v| std::hint::black_box(*v)), |_| {})
+                .unwrap();
+        }
     });
+    report("dynamic_barrier_read", d, N);
 }
 
-fn kernel_hooks(c: &mut Criterion) {
-    for (name, stat_name) in [("null_lsm", "stat/null"), ("laminar_lsm", "stat/laminar")]
-    {
-        let k = if name == "null_lsm" {
-            Kernel::boot(NullModule)
-        } else {
-            Kernel::boot(LaminarModule)
-        };
+/// The kernel's hot syscall path, Null vs Laminar LSM.
+fn kernel_hooks() {
+    println!("\n== kernel hooks (Null vs Laminar LSM) ==");
+    for null_lsm in [true, false] {
+        let k =
+            if null_lsm { Kernel::boot(NullModule) } else { Kernel::boot(LaminarModule) };
         k.add_user(UserId(1), "bench");
         let t = k.login(UserId(1)).unwrap();
         let fd = t.create("f").unwrap();
         t.close(fd).unwrap();
-        c.bench_function(stat_name, |bench| {
-            bench.iter(|| std::hint::black_box(t.stat("f").unwrap()))
+        let module = if null_lsm { "null" } else { "laminar" };
+
+        const N: u64 = 20_000;
+        let d = median_time(TRIALS, || {
+            for _ in 0..N {
+                std::hint::black_box(t.stat("f").unwrap());
+            }
         });
+        report(&format!("stat/{module}"), d, N);
+
         let w = t.open("/dev/null", OpenMode::Write).unwrap();
-        let io_name = if name == "null_lsm" { "null_io/null" } else { "null_io/laminar" };
-        c.bench_function(io_name, |bench| {
-            bench.iter(|| t.write(w, &[0]).unwrap())
+        let d = median_time(TRIALS, || {
+            for _ in 0..N {
+                t.write(w, &[0]).unwrap();
+            }
         });
+        report(&format!("null_io/{module}"), d, N);
     }
 }
 
-fn short_config() -> Criterion {
-    Criterion::default()
-        .sample_size(30)
-        .warm_up_time(std::time::Duration::from_millis(200))
-        .measurement_time(std::time::Duration::from_millis(600))
+fn main() {
+    println!("Laminar microbenchmarks (median of {TRIALS} trials)");
+    labels();
+    cached_vs_uncached_workload();
+    regions_and_barriers();
+    kernel_hooks();
 }
-
-criterion_group! {
-    name = benches;
-    config = short_config();
-    targets = labels, regions_and_barriers, kernel_hooks
-}
-criterion_main!(benches);

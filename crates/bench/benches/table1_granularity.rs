@@ -39,10 +39,7 @@ fn main() {
         .grant(Capability::minus(t));
 
     // --- Laminar: fine-grained in-process labels -------------------------
-    let cell = p
-        .secure(&params, |g| Ok(g.new_labeled(42i64)), |_| {})
-        .unwrap()
-        .unwrap();
+    let cell = p.secure(&params, |g| Ok(g.new_labeled(42i64)), |_| {}).unwrap().unwrap();
 
     // (a) barrier only, region amortised over many accesses
     let barrier_only = median_time(TRIALS, || {
@@ -77,24 +74,18 @@ fn main() {
     // Both channels carry the label: the client process is itself
     // tainted for its whole life (address-space granularity), so even
     // its *requests* live at {S(t)}. Create the pipes while tainted.
-    task.set_task_label(laminar_difc::LabelType::Secrecy, Label::singleton(t))
-        .unwrap();
+    task.set_task_label(laminar_difc::LabelType::Secrecy, Label::singleton(t)).unwrap();
     let (req_r, req_w) = task.pipe().unwrap();
     let (resp_r, resp_w) = task.pipe().unwrap();
-    task.set_task_label(laminar_difc::LabelType::Secrecy, Label::empty())
-        .unwrap();
+    task.set_task_label(laminar_difc::LabelType::Secrecy, Label::empty()).unwrap();
 
     let worker = task.fork(None).unwrap();
-    worker
-        .set_task_label(laminar_difc::LabelType::Secrecy, Label::singleton(t))
-        .unwrap();
+    worker.set_task_label(laminar_difc::LabelType::Secrecy, Label::singleton(t)).unwrap();
     let secret_datum = 42u8;
 
     // Client runs tainted too (it consumes labeled responses).
     let client = task.fork(None).unwrap();
-    client
-        .set_task_label(laminar_difc::LabelType::Secrecy, Label::singleton(t))
-        .unwrap();
+    client.set_task_label(laminar_difc::LabelType::Secrecy, Label::singleton(t)).unwrap();
 
     let ipc = median_time(TRIALS, || {
         for _ in 0..ACCESSES {

@@ -193,8 +193,5 @@ fn main() {
         );
     }
     println!();
-    println!(
-        "laminar hook invocations during suite: {}",
-        lam_task.kernel().hook_calls()
-    );
+    println!("laminar hook invocations during suite: {}", lam_task.kernel().hook_calls());
 }

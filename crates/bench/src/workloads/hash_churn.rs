@@ -85,8 +85,15 @@ pub fn build() -> Program {
         b.load(3).load(0).cmp_lt().jump_if_false(insdone);
         // k = (i+1) * 2654435761 mod 2^31, never 0
         b.load(1).load(2);
-        b.load(3).push_int(1).add().push_int(2_654_435_761).mul()
-            .push_int(0x7fff_ffff).and_mask().push_int(1).or_one();
+        b.load(3)
+            .push_int(1)
+            .add()
+            .push_int(2_654_435_761)
+            .mul()
+            .push_int(0x7fff_ffff)
+            .and_mask()
+            .push_int(1)
+            .or_one();
         b.load(3); // value = i
         b.call(insert);
         b.load(3).push_int(1).add().store(3);
@@ -101,8 +108,15 @@ pub fn build() -> Program {
         b.bind(lk);
         b.load(3).load(0).cmp_lt().jump_if_false(lkdone);
         b.load(1).load(2);
-        b.load(3).push_int(1).add().push_int(2_654_435_761).mul()
-            .push_int(0x7fff_ffff).and_mask().push_int(1).or_one();
+        b.load(3)
+            .push_int(1)
+            .add()
+            .push_int(2_654_435_761)
+            .mul()
+            .push_int(0x7fff_ffff)
+            .and_mask()
+            .push_int(1)
+            .or_one();
         b.call(lookup);
         b.load(4).add().store(4);
         b.load(3).push_int(1).add().store(3);

@@ -71,7 +71,7 @@ mod error;
 mod labeled;
 mod principal;
 mod runtime;
-mod stats;
+pub mod stats;
 mod vmbridge;
 
 pub use error::{LaminarError, LaminarResult};

@@ -14,11 +14,9 @@
 use crate::error::{LaminarError, LaminarResult};
 use crate::labeled::Labeled;
 use crate::stats::RuntimeStats;
-use laminar_difc::{
-    CapKind, CapSet, Capability, Label, LabelType, SecPair, Tag,
-};
+use laminar_difc::{CapKind, CapSet, Capability, Label, LabelType, SecPair, Tag};
 use laminar_os::{TaskHandle, UserId};
-use parking_lot::Mutex;
+use laminar_util::sync::Mutex;
 use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -71,13 +69,16 @@ impl ThreadState {
     }
 }
 
+/// The per-region dynamic-barrier context: the owning principal's thread
+/// state plus its stats sink.
+type RegionCtx = (Arc<Mutex<ThreadState>>, Arc<Mutex<RuntimeStats>>);
+
 thread_local! {
     /// Stack of (state, stats) for principals whose regions are active on
     /// this OS thread — the lookup table for *dynamic barriers*
     /// ([`Labeled::read_dyn`]), which must discover the region context at
     /// run time exactly like the paper's dynamic-barrier configuration.
-    static REGION_CTX: RefCell<Vec<(Arc<Mutex<ThreadState>>, Arc<Mutex<RuntimeStats>>)>> =
-        const { RefCell::new(Vec::new()) };
+    static REGION_CTX: RefCell<Vec<RegionCtx>> = const { RefCell::new(Vec::new()) };
 }
 
 pub(crate) fn with_dynamic_ctx<R>(
@@ -322,18 +323,14 @@ impl Principal {
             // The kernel task carries the region's labels; only the
             // trusted tcb thread can drop them — the thread itself may
             // lack the minus capabilities (§4.4).
-            self.rt
-                .vm_task
-                .set_task_labels_tcb(self.task.id(), SecPair::unlabeled())?;
+            self.rt.vm_task.set_task_labels_tcb(self.task.id(), SecPair::unlabeled())?;
         } else if !st.labels.is_unlabeled() {
             self.stats.lock().os_syncs_elided += 1;
         }
         st.synced = false;
         if !frame.suspended.is_empty() {
             // Restore capabilities suspended for the region's scope.
-            self.rt
-                .vm_task
-                .grant_capabilities_tcb(self.task.id(), &frame.suspended)?;
+            self.rt.vm_task.grant_capabilities_tcb(self.task.id(), &frame.suspended)?;
         }
         st.labels = frame.saved_labels;
         st.caps = frame.saved_caps;
@@ -362,9 +359,7 @@ impl Principal {
             frame.suspended = frame.suspended.union(&to_suspend);
         }
         if !st.labels.is_unlabeled() {
-            self.rt
-                .vm_task
-                .set_task_labels_tcb(self.task.id(), st.labels.clone())?;
+            self.rt.vm_task.set_task_labels_tcb(self.task.id(), st.labels.clone())?;
         }
         st.synced = true;
         drop(st);
@@ -406,8 +401,7 @@ impl Principal {
         let started = Instant::now();
         self.enter_region(params)?;
         REGION_CTX.with(|ctx| {
-            ctx.borrow_mut()
-                .push((Arc::clone(&self.state), Arc::clone(&self.stats)))
+            ctx.borrow_mut().push((Arc::clone(&self.state), Arc::clone(&self.stats)))
         });
 
         let guard = RegionGuard { principal: self };
@@ -538,7 +532,7 @@ impl RegionGuard<'_> {
         labels: SecPair,
     ) -> LaminarResult<Labeled<T>> {
         let st = self.principal.state.lock();
-        st.labels.can_flow_to(&labels)?;
+        st.labels.can_flow_to_cached(&labels)?;
         drop(st);
         self.principal.stats.lock().labeled_allocs += 1;
         Ok(Labeled::with_labels_unchecked(value, labels))

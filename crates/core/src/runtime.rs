@@ -13,7 +13,7 @@ use crate::principal::{Principal, ProcessRt, ThreadState};
 use crate::stats::RuntimeStats;
 use laminar_difc::{CapSet, Capability, Label, LabelType, SecPair};
 use laminar_os::{Kernel, LaminarModule, TaskHandle, UserId};
-use parking_lot::Mutex;
+use laminar_util::sync::Mutex;
 use std::sync::Arc;
 
 /// The top-level Laminar system: a booted kernel plus login services.

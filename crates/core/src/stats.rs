@@ -1,9 +1,18 @@
-//! Per-principal runtime statistics.
+//! Per-principal runtime statistics and the global flow-cache counters.
 //!
 //! Table 3 reports the fraction of execution time spent inside security
 //! regions; Figure 9 decomposes application overhead into region
 //! start/end, allocation barriers and read/write barriers. These
 //! counters (and the region timer) are what the benchmark harness reads.
+//!
+//! The global label-interning and flow-check-cache counters of
+//! `laminar_difc` are re-exported here ([`flow_cache_stats`],
+//! [`intern_stats`], [`reset_flow_cache`]) so harnesses that only link
+//! `laminar` can observe hot-path hit rates.
+
+pub use laminar_difc::{
+    flow_cache_stats, intern_stats, reset_flow_cache, FlowCacheStats, InternStats,
+};
 
 /// Counters accumulated by a [`crate::Principal`].
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -62,8 +71,10 @@ mod tests {
 
     #[test]
     fn merge_sums() {
-        let mut a = RuntimeStats { labeled_reads: 2, region_ns: 10, ..Default::default() };
-        let b = RuntimeStats { labeled_reads: 3, labeled_writes: 1, ..Default::default() };
+        let mut a =
+            RuntimeStats { labeled_reads: 2, region_ns: 10, ..Default::default() };
+        let b =
+            RuntimeStats { labeled_reads: 3, labeled_writes: 1, ..Default::default() };
         a.merge(&b);
         assert_eq!(a.labeled_reads, 5);
         assert_eq!(a.labeled_writes, 1);

@@ -67,10 +67,9 @@ impl fmt::Display for LabelChangeError {
             LabelChangeError::MissingAdd { tags } => {
                 write!(f, "label change requires missing add capabilities for {tags}")
             }
-            LabelChangeError::MissingRemove { tags } => write!(
-                f,
-                "label change requires missing remove capabilities for {tags}"
-            ),
+            LabelChangeError::MissingRemove { tags } => {
+                write!(f, "label change requires missing remove capabilities for {tags}")
+            }
         }
     }
 }

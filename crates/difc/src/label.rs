@@ -11,9 +11,18 @@
 //! return a new label. Immutability means label objects can be freely
 //! shared between data objects, security regions and threads with no
 //! synchronisation.
+//!
+//! Labels are additionally *interned* (hash-consed, see
+//! [`crate::intern`]): each distinct tag-set has one canonical backing
+//! allocation and a stable 32-bit [`LabelId`], so equality and hashing
+//! are O(1) integer operations and subset verdicts can be memoized by
+//! id (see [`crate::cache`]) — the label-comparison caching of §5.
 
+use crate::cache;
+use crate::intern::{self, LabelId};
 use crate::tag::Tag;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// Whether a label is a secrecy label or an integrity label.
@@ -55,20 +64,40 @@ impl fmt::Display for LabelType {
 /// assert!(la.is_subset_of(&lab));
 /// assert_eq!(la.union(&Label::from_tags([b])), lab);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone)]
 pub struct Label {
-    // Sorted, deduplicated. The empty label shares a single static-like
-    // allocation via `Label::empty()`'s Arc, but constructing fresh empties
-    // is also fine — equality is structural.
+    // Sorted, deduplicated, hash-consed: every label with the same
+    // tag-set shares this one canonical allocation, and `id` is its
+    // stable process-global name. Equality and hashing use only `id`.
     tags: Arc<[Tag]>,
+    id: LabelId,
+}
+
+impl PartialEq for Label {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+
+impl Eq for Label {}
+
+impl Hash for Label {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+    }
 }
 
 impl Label {
+    fn from_sorted(sorted: Vec<Tag>) -> Self {
+        let (id, tags) = intern::intern_label(sorted);
+        Label { tags, id }
+    }
+
     /// The empty label `{}` — the implicit label of every unlabeled
     /// resource, and the bottom of the secrecy lattice (top of integrity).
     #[must_use]
     pub fn empty() -> Self {
-        Label { tags: Arc::from([]) }
+        Label { tags: intern::empty_tags(), id: LabelId::EMPTY }
     }
 
     /// Builds a label from any collection of tags, deduplicating.
@@ -77,13 +106,20 @@ impl Label {
         let mut v: Vec<Tag> = tags.into_iter().collect();
         v.sort_unstable();
         v.dedup();
-        Label { tags: Arc::from(v) }
+        Label::from_sorted(v)
     }
 
     /// A label containing a single tag.
     #[must_use]
     pub fn singleton(tag: Tag) -> Self {
-        Label { tags: Arc::from([tag]) }
+        Label::from_sorted(vec![tag])
+    }
+
+    /// The stable intern id of this label's tag-set: equal labels have
+    /// equal ids, and vice versa, for the life of the process.
+    #[must_use]
+    pub fn id(&self) -> LabelId {
+        self.id
     }
 
     /// Returns `true` if this is the empty label.
@@ -106,8 +142,16 @@ impl Label {
 
     /// Subset test: the paper's `isSubsetOf()` operation, and the order
     /// relation of the label lattice.
+    ///
+    /// This is the *uncached* structural check (plus the trivial
+    /// id-equality and length fast paths) — the oracle that
+    /// [`Self::is_subset_of_cached`] memoizes. Enforcement hot paths
+    /// should prefer the cached variant.
     #[must_use]
     pub fn is_subset_of(&self, other: &Label) -> bool {
+        if self.id == other.id {
+            return true;
+        }
         if self.tags.len() > other.tags.len() {
             return false;
         }
@@ -129,15 +173,24 @@ impl Label {
         true
     }
 
+    /// Memoized subset test: consults the global flow-check cache (see
+    /// [`crate::cache`]), with inline fast paths for the empty label and
+    /// id-equal operands. Agrees with [`Self::is_subset_of`] on every
+    /// input; this is what the enforcement layers call.
+    #[must_use]
+    pub fn is_subset_of_cached(&self, other: &Label) -> bool {
+        cache::cached_subset(self, other)
+    }
+
     /// Least upper bound in the lattice: set union. Returns a new label
     /// (labels are immutable); if the union equals one operand, that
     /// operand's allocation is reused.
     #[must_use]
     pub fn union(&self, other: &Label) -> Label {
-        if self.is_subset_of(other) {
+        if self.is_subset_of_cached(other) {
             return other.clone();
         }
-        if other.is_subset_of(self) {
+        if other.is_subset_of_cached(self) {
             return self.clone();
         }
         let mut v = Vec::with_capacity(self.tags.len() + other.tags.len());
@@ -145,7 +198,7 @@ impl Label {
         v.extend_from_slice(&other.tags);
         v.sort_unstable();
         v.dedup();
-        Label { tags: Arc::from(v) }
+        Label::from_sorted(v)
     }
 
     /// Greatest lower bound in the lattice: set intersection.
@@ -153,7 +206,7 @@ impl Label {
     pub fn intersection(&self, other: &Label) -> Label {
         let v: Vec<Tag> =
             self.tags.iter().copied().filter(|t| other.contains(*t)).collect();
-        Label { tags: Arc::from(v) }
+        Label::from_sorted(v)
     }
 
     /// Set difference `self - other`: the tags of `self` not in `other`.
@@ -165,7 +218,7 @@ impl Label {
     pub fn difference(&self, other: &Label) -> Label {
         let v: Vec<Tag> =
             self.tags.iter().copied().filter(|t| !other.contains(*t)).collect();
-        Label { tags: Arc::from(v) }
+        Label::from_sorted(v)
     }
 
     /// Iterates over the tags in ascending order.
@@ -292,5 +345,32 @@ mod tests {
     fn collect_from_iterator() {
         let l: Label = [t(4), t(2)].into_iter().collect();
         assert_eq!(l.as_slice(), &[t(2), t(4)]);
+    }
+
+    #[test]
+    fn interning_shares_one_allocation() {
+        let a = Label::from_tags([t(31), t(32)]);
+        let b = Label::from_tags([t(32), t(31), t(31)]);
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+        // Hash-consed: equal labels point at the same canonical slice.
+        assert!(std::ptr::eq(a.as_slice().as_ptr(), b.as_slice().as_ptr()));
+        assert_ne!(a.id(), Label::singleton(t(31)).id());
+        assert_eq!(Label::empty().id(), crate::LabelId::EMPTY);
+    }
+
+    #[test]
+    fn cached_subset_agrees_with_structural() {
+        let cases = [
+            Label::empty(),
+            Label::singleton(t(41)),
+            Label::from_tags([t(41), t(42)]),
+            Label::from_tags([t(42), t(43)]),
+        ];
+        for a in &cases {
+            for b in &cases {
+                assert_eq!(a.is_subset_of_cached(b), a.is_subset_of(b), "{a} vs {b}");
+            }
+        }
     }
 }

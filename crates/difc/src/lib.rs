@@ -24,6 +24,18 @@
 //! The [`laminar-os`](https://docs.rs/laminar-os) and `laminar` crates
 //! build the enforcement machinery on top of it.
 //!
+//! ## The hot path: interning and the flow-check cache
+//!
+//! Mirroring the §5 prototype's label-comparison memoization, labels
+//! and pairs are *interned* ([`intern`]): each distinct tag-set has one
+//! canonical allocation and a stable 32-bit id ([`LabelId`]/[`PairId`]),
+//! so equality and hashing are O(1). Subset and flow verdicts are
+//! memoized in a global sharded cache ([`cache`]) keyed on those ids —
+//! [`Label::is_subset_of_cached`], [`SecPair::flows_to_cached`] and
+//! [`SecPair::can_flow_to_cached`] are the entry points the VM
+//! barriers, LSM hooks and syscall checks use, with hit/miss/insert
+//! counters observable via [`flow_cache_stats`].
+//!
 //! ## Example: the calendar scenario of §3.3
 //!
 //! ```
@@ -55,14 +67,18 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod cache;
 mod caps;
 mod error;
+pub mod intern;
 mod label;
 mod pair;
 mod tag;
 
+pub use cache::{flow_cache_stats, reset_flow_cache, CheckKind, FlowCacheStats};
 pub use caps::{CapKind, CapSet, Capability};
 pub use error::{FlowError, LabelChangeError};
+pub use intern::{intern_stats, InternStats, LabelId, PairId};
 pub use label::{Label, LabelType};
 pub use pair::{check_label_change, check_pair_change, SecPair};
 pub use tag::{Tag, TagAllocator};

@@ -8,10 +8,13 @@
 //!   down; and
 //! * **integrity rule** (Biba): `Iy ⊆ Ix` — no read down, no write up.
 
+use crate::cache;
 use crate::caps::CapSet;
 use crate::error::{FlowError, LabelChangeError};
+use crate::intern::{self, PairId};
 use crate::label::{Label, LabelType};
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// A `{S(..), I(..)}` pair: the complete DIFC labeling of one data object
 /// or principal.
@@ -29,35 +32,70 @@ use std::fmt;
 /// // ...but a public source may flow to a secret sink.
 /// assert!(public.can_flow_to(&secret).is_ok());
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Clone)]
 pub struct SecPair {
     secrecy: Label,
     integrity: Label,
+    // Interned identity of the (secrecy id, integrity id) combination:
+    // makes pair equality/hashing O(1) and keys the Flow memo cache.
+    id: PairId,
+}
+
+impl PartialEq for SecPair {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+
+impl Eq for SecPair {}
+
+impl Hash for SecPair {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+    }
+}
+
+impl Default for SecPair {
+    fn default() -> Self {
+        SecPair::unlabeled()
+    }
 }
 
 impl SecPair {
     /// Creates a pair from explicit secrecy and integrity labels.
     #[must_use]
     pub fn new(secrecy: Label, integrity: Label) -> Self {
-        SecPair { secrecy, integrity }
+        let id = intern::intern_pair(secrecy.id(), integrity.id());
+        SecPair { secrecy, integrity, id }
     }
 
     /// The implicit `{S(), I()}` pair of every unlabeled resource.
     #[must_use]
     pub fn unlabeled() -> Self {
-        SecPair::default()
+        SecPair {
+            secrecy: Label::empty(),
+            integrity: Label::empty(),
+            id: PairId::UNLABELED,
+        }
+    }
+
+    /// The stable intern id of this pair: equal pairs have equal ids,
+    /// and vice versa, for the life of the process.
+    #[must_use]
+    pub fn id(&self) -> PairId {
+        self.id
     }
 
     /// A pair with only a secrecy label.
     #[must_use]
     pub fn secrecy_only(secrecy: Label) -> Self {
-        SecPair { secrecy, integrity: Label::empty() }
+        SecPair::new(secrecy, Label::empty())
     }
 
     /// A pair with only an integrity label.
     #[must_use]
     pub fn integrity_only(integrity: Label) -> Self {
-        SecPair { secrecy: Label::empty(), integrity }
+        SecPair::new(Label::empty(), integrity)
     }
 
     /// The secrecy label `Sx`.
@@ -124,10 +162,38 @@ impl SecPair {
 
     /// Boolean form of [`Self::can_flow_to`], for hot paths that do not
     /// need the diagnostic payload (e.g. VM barriers).
+    ///
+    /// This is the *uncached* structural check — the oracle that
+    /// [`Self::flows_to_cached`] memoizes.
     #[must_use]
     pub fn flows_to(&self, to: &SecPair) -> bool {
         self.secrecy.is_subset_of(&to.secrecy)
             && to.integrity.is_subset_of(&self.integrity)
+    }
+
+    /// Memoized form of [`Self::flows_to`]: one lookup in the global
+    /// flow-check cache keyed on the two pair ids, with inline fast
+    /// paths for id-equal pairs and the unlabeled-source common case.
+    /// Agrees with [`Self::flows_to`] on every input; this is what the
+    /// enforcement layers (VM barriers, LSM hooks, syscalls) call.
+    #[must_use]
+    pub fn flows_to_cached(&self, to: &SecPair) -> bool {
+        cache::cached_flow(self, to)
+    }
+
+    /// Memoized form of [`Self::can_flow_to`]: answers the common
+    /// (allowed) case from the cache; only a *denied* flow pays for
+    /// building the diagnostic payload, via the uncached check.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Self::can_flow_to`].
+    pub fn can_flow_to_cached(&self, to: &SecPair) -> Result<(), FlowError> {
+        if self.flows_to_cached(to) {
+            Ok(())
+        } else {
+            self.can_flow_to(to)
+        }
     }
 
     /// Componentwise least upper bound for *data* combining two sources:
@@ -135,10 +201,10 @@ impl SecPair {
     /// trusted).
     #[must_use]
     pub fn join(&self, other: &SecPair) -> SecPair {
-        SecPair {
-            secrecy: self.secrecy.union(&other.secrecy),
-            integrity: self.integrity.intersection(&other.integrity),
-        }
+        SecPair::new(
+            self.secrecy.union(&other.secrecy),
+            self.integrity.intersection(&other.integrity),
+        )
     }
 }
 
@@ -281,7 +347,9 @@ mod tests {
         let caps = CapSet::from_caps([Capability::plus(t(1))]);
         assert!(check_label_change(&l(&[]), &l(&[1]), &caps).is_ok());
         let err = check_label_change(&l(&[]), &l(&[1, 2]), &caps).unwrap_err();
-        assert!(matches!(err, LabelChangeError::MissingAdd { ref tags } if tags.contains(t(2))));
+        assert!(
+            matches!(err, LabelChangeError::MissingAdd { ref tags } if tags.contains(t(2)))
+        );
     }
 
     #[test]
@@ -289,7 +357,9 @@ mod tests {
         let caps = CapSet::from_caps([Capability::minus(t(1))]);
         assert!(check_label_change(&l(&[1]), &l(&[]), &caps).is_ok());
         let err = check_label_change(&l(&[1, 2]), &l(&[]), &caps).unwrap_err();
-        assert!(matches!(err, LabelChangeError::MissingRemove { ref tags } if tags.contains(t(2))));
+        assert!(
+            matches!(err, LabelChangeError::MissingRemove { ref tags } if tags.contains(t(2)))
+        );
     }
 
     #[test]
@@ -303,8 +373,7 @@ mod tests {
     fn pair_change_checks_both_components() {
         let from = SecPair::new(l(&[1]), l(&[]));
         let to = SecPair::new(l(&[]), l(&[2]));
-        let caps =
-            CapSet::from_caps([Capability::minus(t(1)), Capability::plus(t(2))]);
+        let caps = CapSet::from_caps([Capability::minus(t(1)), Capability::plus(t(2))]);
         assert!(check_pair_change(&from, &to, &caps).is_ok());
         let weak = CapSet::from_caps([Capability::minus(t(1))]);
         assert!(check_pair_change(&from, &to, &weak).is_err());

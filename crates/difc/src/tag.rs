@@ -127,7 +127,9 @@ mod tests {
         let handles: Vec<_> = (0..4)
             .map(|_| {
                 let alloc = Arc::clone(&alloc);
-                std::thread::spawn(move || (0..250).map(|_| alloc.fresh()).collect::<Vec<_>>())
+                std::thread::spawn(move || {
+                    (0..250).map(|_| alloc.fresh()).collect::<Vec<_>>()
+                })
             })
             .collect();
         let mut all = HashSet::new();

@@ -1,0 +1,149 @@
+//! Differential tests for the interning layer and the flow-check cache.
+//!
+//! The cache may only ever *memoize* — every cached `is_subset_of` /
+//! `can_flow_to` answer must match the uncached structural oracle, for
+//! randomized label pairs, across repeated queries (first-query miss and
+//! subsequent hits must agree). Interning must preserve `Label`/`SecPair`
+//! equality and hash semantics exactly.
+//!
+//! This file is its own test binary, i.e. its own process: the global
+//! cache counters it asserts on see no traffic from other test suites.
+
+use laminar_difc::{flow_cache_stats, Label, SecPair, Tag};
+use laminar_util::SplitMix64;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+fn random_label(rng: &mut SplitMix64, universe: u64) -> Label {
+    let n = rng.gen_range(0..5);
+    Label::from_tags((0..n).map(|_| Tag::from_raw(1 + rng.below(universe))))
+}
+
+/// A from-scratch subset oracle, independent of `Label::is_subset_of`'s
+/// own fast paths.
+fn naive_subset(a: &Label, b: &Label) -> bool {
+    a.iter().all(|t| b.iter().any(|u| u == t))
+}
+
+fn hash_of<T: Hash>(v: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+#[test]
+fn cached_subset_matches_oracle_on_random_pairs() {
+    let mut rng = SplitMix64::new(0xD1FC);
+    for _ in 0..2_000 {
+        let a = random_label(&mut rng, 10);
+        let b = random_label(&mut rng, 10);
+        let oracle = naive_subset(&a, &b);
+        assert_eq!(a.is_subset_of(&b), oracle, "structural check drifted: {a} vs {b}");
+        // First query (possible miss) and repeats (hits) must all agree.
+        for _ in 0..3 {
+            assert_eq!(a.is_subset_of_cached(&b), oracle, "cached drifted: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn cached_flow_matches_oracle_on_random_pairs() {
+    let mut rng = SplitMix64::new(0xF10);
+    for _ in 0..2_000 {
+        let x = SecPair::new(random_label(&mut rng, 8), random_label(&mut rng, 8));
+        let y = SecPair::new(random_label(&mut rng, 8), random_label(&mut rng, 8));
+        let oracle = x.secrecy().iter().all(|t| y.secrecy().contains(t))
+            && y.integrity().iter().all(|t| x.integrity().contains(t));
+        assert_eq!(x.flows_to(&y), oracle, "{x} -> {y}");
+        for _ in 0..3 {
+            assert_eq!(x.flows_to_cached(&y), oracle, "cached flow drifted: {x} -> {y}");
+            assert_eq!(
+                x.can_flow_to_cached(&y).is_ok(),
+                oracle,
+                "cached can_flow_to drifted: {x} -> {y}"
+            );
+        }
+        // Denials must carry the same diagnostic as the uncached path.
+        if !oracle {
+            let cached_err = format!("{}", x.can_flow_to_cached(&y).unwrap_err());
+            let oracle_err = format!("{}", x.can_flow_to(&y).unwrap_err());
+            assert_eq!(cached_err, oracle_err);
+        }
+    }
+}
+
+#[test]
+fn interning_preserves_equality_and_hash_semantics() {
+    let mut rng = SplitMix64::new(0x5EED);
+    for _ in 0..2_000 {
+        let tags: Vec<Tag> = {
+            let n = rng.gen_range(0..5);
+            (0..n).map(|_| Tag::from_raw(1 + rng.below(200))).collect()
+        };
+        let mut shuffled = tags.clone();
+        rng.shuffle(&mut shuffled);
+
+        // Two labels built independently (in different orders, possibly
+        // with duplicates) from the same tag multiset are equal, share a
+        // hash, share an id, and share the canonical allocation.
+        let a = Label::from_tags(tags.iter().copied());
+        let b = Label::from_tags(shuffled.iter().copied().chain(tags.first().copied()));
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+        assert_eq!(a.id(), b.id());
+        assert!(std::ptr::eq(a.as_slice().as_ptr(), b.as_slice().as_ptr()));
+
+        // And a label over a strictly different tag-set is unequal with
+        // a different id.
+        let c = Label::from_tags(tags.iter().copied().chain([Tag::from_raw(999)]));
+        assert_ne!(a, c);
+        assert_ne!(a.id(), c.id());
+
+        // Pairs inherit the same guarantees.
+        let p = SecPair::new(a.clone(), c.clone());
+        let q = SecPair::new(b.clone(), c.clone());
+        assert_eq!(p, q);
+        assert_eq!(hash_of(&p), hash_of(&q));
+        assert_eq!(p.id(), q.id());
+        assert_ne!(p, SecPair::new(c, a));
+    }
+}
+
+#[test]
+fn repeated_checks_exceed_90_percent_hit_rate() {
+    // A workload shaped like real enforcement: a small working set of
+    // labels checked over and over (barriers re-check the same object/
+    // thread label pairs millions of times).
+    let mut rng = SplitMix64::new(0xCACE);
+    let working_set: Vec<SecPair> = (0..8)
+        .map(|_| SecPair::new(random_label(&mut rng, 6), random_label(&mut rng, 6)))
+        .collect();
+
+    // Warm the cache with one pass over all combinations.
+    for a in &working_set {
+        for b in &working_set {
+            let _ = a.flows_to_cached(b);
+        }
+    }
+
+    let before = flow_cache_stats();
+    let mut checks = 0u64;
+    for _ in 0..2_000 {
+        for a in &working_set {
+            for b in &working_set {
+                assert_eq!(a.flows_to_cached(b), a.flows_to(b));
+                checks += 1;
+            }
+        }
+    }
+    let after = flow_cache_stats();
+    let answered = (after.hits + after.fast_hits) - (before.hits + before.fast_hits);
+    let missed = after.misses - before.misses;
+    assert!(checks > 100_000);
+    let rate = answered as f64 / (answered + missed) as f64;
+    assert!(
+        rate > 0.90,
+        "expected >90% hit rate on repeated checks, got {:.3} ({answered} answered, {missed} missed)",
+        rate
+    );
+}

@@ -1,4 +1,6 @@
-//! Property-based tests for the label lattice and the DIFC flow rules.
+//! Randomized property tests for the label lattice and the DIFC flow
+//! rules, driven by the in-repo deterministic PRNG (no external crates,
+//! so they run in fully offline CI).
 //!
 //! These encode the algebraic laws the paper's model relies on: the
 //! subset order is a partial order, union/intersection are lattice
@@ -6,157 +8,220 @@
 //! flows), which is what makes end-to-end guarantees out of per-edge
 //! checks.
 
-use laminar_difc::{
-    check_label_change, CapSet, Capability, Label, SecPair, Tag,
-};
-use proptest::prelude::*;
+use laminar_difc::{check_label_change, CapSet, Capability, Label, SecPair, Tag};
+use laminar_util::SplitMix64;
 
-/// Strategy: a label over a small tag universe so that interesting
+/// Cases per property; the tag universe is small (1..12) so interesting
 /// subset/overlap relationships are common.
-fn label_strategy() -> impl Strategy<Value = Label> {
-    prop::collection::vec(1u64..12, 0..6)
-        .prop_map(|v| Label::from_tags(v.into_iter().map(Tag::from_raw)))
+const CASES: usize = 500;
+
+fn random_label(rng: &mut SplitMix64) -> Label {
+    let n = rng.gen_range(0..6);
+    Label::from_tags((0..n).map(|_| Tag::from_raw(1 + rng.below(11))))
 }
 
-fn pair_strategy() -> impl Strategy<Value = SecPair> {
-    (label_strategy(), label_strategy()).prop_map(|(s, i)| SecPair::new(s, i))
+fn random_pair(rng: &mut SplitMix64) -> SecPair {
+    SecPair::new(random_label(rng), random_label(rng))
 }
 
-fn capset_strategy() -> impl Strategy<Value = CapSet> {
-    prop::collection::vec((1u64..12, prop::bool::ANY), 0..8).prop_map(|v| {
-        v.into_iter()
-            .map(|(t, plus)| {
-                let tag = Tag::from_raw(t);
-                if plus {
-                    Capability::plus(tag)
-                } else {
-                    Capability::minus(tag)
-                }
-            })
-            .collect()
-    })
+fn random_capset(rng: &mut SplitMix64) -> CapSet {
+    let n = rng.gen_range(0..8);
+    (0..n)
+        .map(|_| {
+            let tag = Tag::from_raw(1 + rng.below(11));
+            if rng.gen_bool() {
+                Capability::plus(tag)
+            } else {
+                Capability::minus(tag)
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn subset_reflexive(l in label_strategy()) {
-        prop_assert!(l.is_subset_of(&l));
+#[test]
+fn subset_reflexive() {
+    let mut rng = SplitMix64::new(0xA11CE);
+    for _ in 0..CASES {
+        let l = random_label(&mut rng);
+        assert!(l.is_subset_of(&l));
     }
+}
 
-    #[test]
-    fn subset_antisymmetric(a in label_strategy(), b in label_strategy()) {
+#[test]
+fn subset_antisymmetric() {
+    let mut rng = SplitMix64::new(0xB0B);
+    for _ in 0..CASES {
+        let (a, b) = (random_label(&mut rng), random_label(&mut rng));
         if a.is_subset_of(&b) && b.is_subset_of(&a) {
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b);
         }
     }
+}
 
-    #[test]
-    fn subset_transitive(a in label_strategy(), b in label_strategy(), c in label_strategy()) {
+#[test]
+fn subset_transitive() {
+    let mut rng = SplitMix64::new(0xCAB);
+    for _ in 0..CASES {
+        let (a, b, c) =
+            (random_label(&mut rng), random_label(&mut rng), random_label(&mut rng));
         if a.is_subset_of(&b) && b.is_subset_of(&c) {
-            prop_assert!(a.is_subset_of(&c));
+            assert!(a.is_subset_of(&c));
         }
     }
+}
 
-    #[test]
-    fn union_is_least_upper_bound(a in label_strategy(), b in label_strategy(), c in label_strategy()) {
+#[test]
+fn union_is_least_upper_bound() {
+    let mut rng = SplitMix64::new(1);
+    for _ in 0..CASES {
+        let (a, b, c) =
+            (random_label(&mut rng), random_label(&mut rng), random_label(&mut rng));
         let u = a.union(&b);
-        prop_assert!(a.is_subset_of(&u));
-        prop_assert!(b.is_subset_of(&u));
+        assert!(a.is_subset_of(&u));
+        assert!(b.is_subset_of(&u));
         // Least: any other upper bound contains the union.
         if a.is_subset_of(&c) && b.is_subset_of(&c) {
-            prop_assert!(u.is_subset_of(&c));
+            assert!(u.is_subset_of(&c));
         }
     }
+}
 
-    #[test]
-    fn intersection_is_greatest_lower_bound(a in label_strategy(), b in label_strategy(), c in label_strategy()) {
+#[test]
+fn intersection_is_greatest_lower_bound() {
+    let mut rng = SplitMix64::new(2);
+    for _ in 0..CASES {
+        let (a, b, c) =
+            (random_label(&mut rng), random_label(&mut rng), random_label(&mut rng));
         let m = a.intersection(&b);
-        prop_assert!(m.is_subset_of(&a));
-        prop_assert!(m.is_subset_of(&b));
+        assert!(m.is_subset_of(&a));
+        assert!(m.is_subset_of(&b));
         if c.is_subset_of(&a) && c.is_subset_of(&b) {
-            prop_assert!(c.is_subset_of(&m));
+            assert!(c.is_subset_of(&m));
         }
     }
+}
 
-    #[test]
-    fn union_commutative_associative_idempotent(a in label_strategy(), b in label_strategy(), c in label_strategy()) {
-        prop_assert_eq!(a.union(&b), b.union(&a));
-        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
-        prop_assert_eq!(a.union(&a), a);
+#[test]
+fn union_commutative_associative_idempotent() {
+    let mut rng = SplitMix64::new(3);
+    for _ in 0..CASES {
+        let (a, b, c) =
+            (random_label(&mut rng), random_label(&mut rng), random_label(&mut rng));
+        assert_eq!(a.union(&b), b.union(&a));
+        assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        assert_eq!(a.union(&a), a);
     }
+}
 
-    #[test]
-    fn difference_partitions(a in label_strategy(), b in label_strategy()) {
+#[test]
+fn difference_partitions() {
+    let mut rng = SplitMix64::new(4);
+    for _ in 0..CASES {
+        let (a, b) = (random_label(&mut rng), random_label(&mut rng));
         let diff = a.difference(&b);
         let inter = a.intersection(&b);
         // diff and inter are disjoint and union back to a.
-        prop_assert!(diff.intersection(&inter).is_empty());
-        prop_assert_eq!(diff.union(&inter), a);
+        assert!(diff.intersection(&inter).is_empty());
+        assert_eq!(diff.union(&inter), a);
     }
+}
 
-    #[test]
-    fn flow_is_transitive(a in pair_strategy(), b in pair_strategy(), c in pair_strategy()) {
+#[test]
+fn flow_is_transitive() {
+    let mut rng = SplitMix64::new(5);
+    for _ in 0..CASES {
+        let (a, b, c) =
+            (random_pair(&mut rng), random_pair(&mut rng), random_pair(&mut rng));
         // Legal flows compose end-to-end: this is the heart of the DIFC
         // guarantee — chaining per-edge checks is sound.
         if a.flows_to(&b) && b.flows_to(&c) {
-            prop_assert!(a.flows_to(&c));
+            assert!(a.flows_to(&c));
         }
     }
+}
 
-    #[test]
-    fn flow_reflexive(a in pair_strategy()) {
-        prop_assert!(a.flows_to(&a));
+#[test]
+fn flow_reflexive() {
+    let mut rng = SplitMix64::new(6);
+    for _ in 0..CASES {
+        let a = random_pair(&mut rng);
+        assert!(a.flows_to(&a));
     }
+}
 
-    #[test]
-    fn join_is_flow_upper_bound(a in pair_strategy(), b in pair_strategy()) {
+#[test]
+fn join_is_flow_upper_bound() {
+    let mut rng = SplitMix64::new(7);
+    for _ in 0..CASES {
+        let (a, b) = (random_pair(&mut rng), random_pair(&mut rng));
         let j = a.join(&b);
-        prop_assert!(a.flows_to(&j));
-        prop_assert!(b.flows_to(&j));
+        assert!(a.flows_to(&j));
+        assert!(b.flows_to(&j));
     }
+}
 
-    #[test]
-    fn unlabeled_flows_everywhere_with_empty_integrity(a in pair_strategy()) {
+#[test]
+fn unlabeled_flows_everywhere_with_empty_integrity() {
+    let mut rng = SplitMix64::new(8);
+    for _ in 0..CASES {
+        let a = random_pair(&mut rng);
         let public = SecPair::unlabeled();
         // Unlabeled sources can flow anywhere with empty integrity demands.
         if a.integrity().is_empty() {
-            prop_assert!(public.flows_to(&a));
+            assert!(public.flows_to(&a));
         }
         // Anything with empty secrecy can flow to an unlabeled sink.
         if a.secrecy().is_empty() {
-            prop_assert!(a.flows_to(&public));
+            assert!(a.flows_to(&public));
         }
     }
+}
 
-    #[test]
-    fn label_change_identity_always_allowed(l in label_strategy()) {
-        prop_assert!(check_label_change(&l, &l, &CapSet::new()).is_ok());
+#[test]
+fn label_change_identity_always_allowed() {
+    let mut rng = SplitMix64::new(9);
+    for _ in 0..CASES {
+        let l = random_label(&mut rng);
+        assert!(check_label_change(&l, &l, &CapSet::new()).is_ok());
     }
+}
 
-    #[test]
-    fn label_change_sound(from in label_strategy(), to in label_strategy(), caps in capset_strategy()) {
+#[test]
+fn label_change_sound() {
+    let mut rng = SplitMix64::new(10);
+    for _ in 0..CASES {
+        let (from, to, caps) =
+            (random_label(&mut rng), random_label(&mut rng), random_capset(&mut rng));
         let allowed = check_label_change(&from, &to, &caps).is_ok();
         let need_plus = to.difference(&from);
         let need_minus = from.difference(&to);
         let expected = caps.can_add_all(&need_plus) && caps.can_remove_all(&need_minus);
-        prop_assert_eq!(allowed, expected);
+        assert_eq!(allowed, expected);
     }
+}
 
-    #[test]
-    fn full_caps_allow_any_change(from in label_strategy(), to in label_strategy()) {
+#[test]
+fn full_caps_allow_any_change() {
+    let mut rng = SplitMix64::new(11);
+    for _ in 0..CASES {
+        let (from, to) = (random_label(&mut rng), random_label(&mut rng));
         let mut caps = CapSet::new();
         for t in from.iter().chain(to.iter()) {
             caps.grant_both(t);
         }
-        prop_assert!(check_label_change(&from, &to, &caps).is_ok());
+        assert!(check_label_change(&from, &to, &caps).is_ok());
     }
+}
 
-    #[test]
-    fn capset_union_monotonic(a in capset_strategy(), b in capset_strategy(),
-                              from in label_strategy(), to in label_strategy()) {
+#[test]
+fn capset_union_monotonic() {
+    let mut rng = SplitMix64::new(12);
+    for _ in 0..CASES {
+        let (a, b) = (random_capset(&mut rng), random_capset(&mut rng));
+        let (from, to) = (random_label(&mut rng), random_label(&mut rng));
         // Gaining capabilities never revokes a permitted change.
         if check_label_change(&from, &to, &a).is_ok() {
-            prop_assert!(check_label_change(&from, &to, &a.union(&b)).is_ok());
+            assert!(check_label_change(&from, &to, &a.union(&b)).is_ok());
         }
     }
 }

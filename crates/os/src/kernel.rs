@@ -11,13 +11,11 @@
 
 use crate::error::{OsError, OsResult};
 use crate::lsm::{Access, SecurityModule};
-use crate::task::{
-    ProcessId, ProcessStruct, TaskId, TaskSec, TaskStruct, UserId,
-};
+use crate::task::{ProcessId, ProcessStruct, TaskId, TaskSec, TaskStruct, UserId};
 use crate::vfs::file::FdTable;
 use crate::vfs::inode::{Inode, InodeId, InodeKind, Xattrs};
 use laminar_difc::{CapSet, Label, SecPair, Tag, TagAllocator};
-use parking_lot::Mutex;
+use laminar_util::sync::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
@@ -99,33 +97,23 @@ impl Kernel {
         let tags = TagAllocator::new();
         let tcb_tag = tags.fresh();
         let admin_tag = tags.fresh();
-        let admin_integrity =
-            SecPair::integrity_only(Label::singleton(admin_tag));
+        let admin_integrity = SecPair::integrity_only(Label::singleton(admin_tag));
 
         let mut inodes = HashMap::new();
         let mut next_inode = 1u64;
         let mut mkino = |kind: InodeKind, labels: SecPair| {
             let id = InodeId(next_inode);
             next_inode += 1;
-            inodes.insert(
-                id,
-                Inode { id, kind, xattrs: Xattrs { labels }, nlink: 1 },
-            );
+            inodes.insert(id, Inode { id, kind, xattrs: Xattrs { labels }, nlink: 1 });
             id
         };
 
-        let root = mkino(
-            InodeKind::Dir { entries: BTreeMap::new() },
-            admin_integrity.clone(),
-        );
-        let etc = mkino(
-            InodeKind::Dir { entries: BTreeMap::new() },
-            admin_integrity.clone(),
-        );
-        let home = mkino(
-            InodeKind::Dir { entries: BTreeMap::new() },
-            admin_integrity.clone(),
-        );
+        let root =
+            mkino(InodeKind::Dir { entries: BTreeMap::new() }, admin_integrity.clone());
+        let etc =
+            mkino(InodeKind::Dir { entries: BTreeMap::new() }, admin_integrity.clone());
+        let home =
+            mkino(InodeKind::Dir { entries: BTreeMap::new() }, admin_integrity.clone());
         let tmp =
             mkino(InodeKind::Dir { entries: BTreeMap::new() }, SecPair::unlabeled());
         let dev =
@@ -212,8 +200,7 @@ impl Kernel {
             InodeKind::Dir { entries } => *entries.get("home").unwrap(),
             _ => unreachable!(),
         };
-        if let InodeKind::Dir { entries } = &mut st.inodes.get_mut(&home).unwrap().kind
-        {
+        if let InodeKind::Dir { entries } = &mut st.inodes.get_mut(&home).unwrap().kind {
             entries.insert(name.to_string(), id);
         }
         st.homes.insert(user, id);
@@ -262,11 +249,8 @@ impl Kernel {
     ) -> OsResult<()> {
         let mut st = self.state.lock();
         let (parent, name) = Self::admin_resolve(&st, path)?;
-        let id = Kernel::alloc_inode(
-            &mut st,
-            InodeKind::File { data: data.to_vec() },
-            labels,
-        );
+        let id =
+            Kernel::alloc_inode(&mut st, InodeKind::File { data: data.to_vec() }, labels);
         match &mut st.inodes.get_mut(&parent).unwrap().kind {
             InodeKind::Dir { entries } => {
                 if entries.contains_key(&name) {
@@ -345,12 +329,7 @@ impl Kernel {
     /// Reads back a user's persistent capabilities.
     #[must_use]
     pub fn persistent_caps(self: &Arc<Self>, user: UserId) -> CapSet {
-        self.state
-            .lock()
-            .persistent_caps
-            .get(&user)
-            .cloned()
-            .unwrap_or_default()
+        self.state.lock().persistent_caps.get(&user).cloned().unwrap_or_default()
     }
 
     pub(crate) fn spawn_process_locked(
@@ -399,10 +378,7 @@ impl Kernel {
     }
 
     pub(crate) fn inode_labels(st: &KState, ino: InodeId) -> OsResult<SecPair> {
-        st.inodes
-            .get(&ino)
-            .map(|i| i.labels().clone())
-            .ok_or(OsError::NotFound)
+        st.inodes.get(&ino).map(|i| i.labels().clone()).ok_or(OsError::NotFound)
     }
 
     /// Invokes the `inode_permission` hook, counting it.
@@ -459,8 +435,7 @@ impl Kernel {
         if path.is_empty() {
             return Err(OsError::InvalidArgument("empty path"));
         }
-        let (start, rel): (InodeId, &str) = if let Some(stripped) =
-            path.strip_prefix('/')
+        let (start, rel): (InodeId, &str) = if let Some(stripped) = path.strip_prefix('/')
         {
             (st.root, stripped)
         } else {
@@ -488,7 +463,11 @@ impl Kernel {
             return Err(OsError::InvalidArgument("too many levels of symbolic links"));
         }
         if comps.is_empty() {
-            return Ok(Resolved { parent: None, name: String::new(), inode: Some(start) });
+            return Ok(Resolved {
+                parent: None,
+                name: String::new(),
+                inode: Some(start),
+            });
         }
         let mut stack: Vec<InodeId> = vec![start];
         let mut cur = start;
@@ -553,7 +532,14 @@ impl Kernel {
                                 )
                             };
                         ncomps.extend(comps[i + 1..].iter().cloned());
-                        return self.walk(st, task, nstart, ncomps, follow_final, depth + 1);
+                        return self.walk(
+                            st,
+                            task,
+                            nstart,
+                            ncomps,
+                            follow_final,
+                            depth + 1,
+                        );
                     }
                     if last {
                         return Ok(Resolved {

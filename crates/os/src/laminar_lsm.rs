@@ -11,6 +11,12 @@
 //! * pipe writes and signals that fail the check are **silently
 //!   dropped** rather than rejected, because the error code would itself
 //!   be a channel.
+//!
+//! Every hook routes its subset/flow queries through the global
+//! flow-check cache (`laminar_difc::cache`, the §5 label-comparison
+//! memoization): hooks fire on every file access and signal, but real
+//! workloads repeat the same `(task label, object label)` pairs, so the
+//! verdict is a cache hit after first contact.
 
 use crate::error::{OsError, OsResult};
 use crate::lsm::{Access, DeliveryVerdict, SecurityModule};
@@ -23,11 +29,11 @@ pub struct LaminarModule;
 
 impl LaminarModule {
     fn check_read(task: &TaskSec, obj: &SecPair) -> OsResult<()> {
-        obj.can_flow_to(&task.labels).map_err(OsError::from)
+        obj.can_flow_to_cached(&task.labels).map_err(OsError::from)
     }
 
     fn check_write(task: &TaskSec, obj: &SecPair) -> OsResult<()> {
-        task.labels.can_flow_to(obj).map_err(OsError::from)
+        task.labels.can_flow_to_cached(obj).map_err(OsError::from)
     }
 
     fn check_mask(task: &TaskSec, obj: &SecPair, mask: Access) -> OsResult<()> {
@@ -75,12 +81,12 @@ impl SecurityModule for LaminarModule {
         new: &SecPair,
     ) -> OsResult<()> {
         // Condition 1.
-        if !task.labels.secrecy().is_subset_of(new.secrecy()) {
+        if !task.labels.secrecy().is_subset_of_cached(new.secrecy()) {
             return Err(OsError::PermissionDenied(
                 "new file's secrecy label must include the creator's taint",
             ));
         }
-        if !new.integrity().is_subset_of(task.labels.integrity()) {
+        if !new.integrity().is_subset_of_cached(task.labels.integrity()) {
             return Err(OsError::PermissionDenied(
                 "new file's integrity label exceeds the creator's endorsements",
             ));
@@ -133,7 +139,7 @@ impl SecurityModule for LaminarModule {
     /// silently dropped (a visible error would notify the sender of the
     /// target's labels — a channel).
     fn task_kill(&self, sender: &TaskSec, target: &TaskSec) -> DeliveryVerdict {
-        if sender.labels.flows_to(&target.labels) {
+        if sender.labels.flows_to_cached(&target.labels) {
             DeliveryVerdict::Deliver
         } else {
             DeliveryVerdict::SilentDrop
@@ -149,7 +155,7 @@ impl SecurityModule for LaminarModule {
     }
 
     fn pipe_write(&self, task: &TaskSec, pipe: &SecPair) -> DeliveryVerdict {
-        if task.labels.flows_to(pipe) {
+        if task.labels.flows_to_cached(pipe) {
             DeliveryVerdict::Deliver
         } else {
             DeliveryVerdict::SilentDrop
@@ -198,9 +204,7 @@ mod tests {
         let m = LaminarModule;
         let unlabeled = task(&[], &[], CapSet::new());
         let secret = obj(&[1], &[]);
-        assert!(m
-            .inode_permission(&unlabeled, &secret, Access::Read)
-            .is_err());
+        assert!(m.inode_permission(&unlabeled, &secret, Access::Read).is_err());
         let tainted = task(&[1], &[], CapSet::new());
         assert!(m.inode_permission(&tainted, &secret, Access::Read).is_ok());
     }
@@ -209,15 +213,9 @@ mod tests {
     fn write_requires_no_write_down() {
         let m = LaminarModule;
         let tainted = task(&[1], &[], CapSet::new());
-        assert!(m
-            .file_permission(&tainted, &obj(&[], &[]), Access::Write)
-            .is_err());
-        assert!(m
-            .file_permission(&tainted, &obj(&[1], &[]), Access::Write)
-            .is_ok());
-        assert!(m
-            .file_permission(&tainted, &obj(&[1, 2], &[]), Access::Write)
-            .is_ok());
+        assert!(m.file_permission(&tainted, &obj(&[], &[]), Access::Write).is_err());
+        assert!(m.file_permission(&tainted, &obj(&[1], &[]), Access::Write).is_ok());
+        assert!(m.file_permission(&tainted, &obj(&[1, 2], &[]), Access::Write).is_ok());
     }
 
     #[test]
@@ -225,12 +223,8 @@ mod tests {
         let m = LaminarModule;
         let high = task(&[], &[9], CapSet::new());
         // Reading an unendorsed file would corrupt the high-integrity task.
-        assert!(m
-            .file_permission(&high, &obj(&[], &[]), Access::Read)
-            .is_err());
-        assert!(m
-            .file_permission(&high, &obj(&[], &[9]), Access::Read)
-            .is_ok());
+        assert!(m.file_permission(&high, &obj(&[], &[]), Access::Read).is_err());
+        assert!(m.file_permission(&high, &obj(&[], &[9]), Access::Read).is_ok());
     }
 
     #[test]
@@ -245,25 +239,17 @@ mod tests {
         let mut caps = CapSet::new();
         caps.grant(Capability::plus(t(1)));
         let tainted = task(&[1], &[], caps.clone());
-        assert!(m
-            .inode_create(&tainted, &obj(&[], &[]), &obj(&[1], &[]))
-            .is_err());
+        assert!(m.inode_create(&tainted, &obj(&[], &[]), &obj(&[1], &[])).is_err());
 
         // ...but can create inside an equally-labeled dir.
-        assert!(m
-            .inode_create(&tainted, &obj(&[1], &[]), &obj(&[1], &[]))
-            .is_ok());
+        assert!(m.inode_create(&tainted, &obj(&[1], &[]), &obj(&[1], &[])).is_ok());
 
         // Cond 1: new file must carry at least the creator's taint.
-        assert!(m
-            .inode_create(&tainted, &obj(&[1], &[]), &obj(&[], &[]))
-            .is_err());
+        assert!(m.inode_create(&tainted, &obj(&[1], &[]), &obj(&[], &[])).is_err());
 
         // Cond 2: involuntary taint (no 1+ capability) blocks creation.
         let involuntary = task(&[1], &[], CapSet::new());
-        assert!(m
-            .inode_create(&involuntary, &obj(&[1], &[]), &obj(&[1], &[]))
-            .is_err());
+        assert!(m.inode_create(&involuntary, &obj(&[1], &[]), &obj(&[1], &[])).is_err());
     }
 
     #[test]
@@ -276,9 +262,7 @@ mod tests {
         caps.grant(Capability::plus(t(9)));
         let endorsed = task(&[], &[9], caps);
         // An endorsed creator can, in a dir it may write.
-        assert!(m
-            .inode_create(&endorsed, &obj(&[], &[]), &obj(&[], &[9]))
-            .is_ok());
+        assert!(m.inode_create(&endorsed, &obj(&[], &[]), &obj(&[], &[9])).is_ok());
     }
 
     #[test]
@@ -294,14 +278,8 @@ mod tests {
     fn pipe_write_silently_drops() {
         let m = LaminarModule;
         let secret = task(&[1], &[], CapSet::new());
-        assert_eq!(
-            m.pipe_write(&secret, &obj(&[], &[])),
-            DeliveryVerdict::SilentDrop
-        );
-        assert_eq!(
-            m.pipe_write(&secret, &obj(&[1], &[])),
-            DeliveryVerdict::Deliver
-        );
+        assert_eq!(m.pipe_write(&secret, &obj(&[], &[])), DeliveryVerdict::SilentDrop);
+        assert_eq!(m.pipe_write(&secret, &obj(&[1], &[])), DeliveryVerdict::Deliver);
     }
 
     #[test]

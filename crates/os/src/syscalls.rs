@@ -32,11 +32,8 @@ impl TaskHandle {
     /// Fails if the task has exited.
     pub fn alloc_tag(&self) -> OsResult<Tag> {
         let mut st = self.kernel.state.lock();
-        let t = st
-            .tasks
-            .get_mut(&self.tid)
-            .filter(|t| t.alive)
-            .ok_or(OsError::NoSuchTask)?;
+        let t =
+            st.tasks.get_mut(&self.tid).filter(|t| t.alive).ok_or(OsError::NoSuchTask)?;
         let tag = self.kernel.tags.fresh();
         t.security.caps_mut().grant_both(tag);
         Ok(tag)
@@ -55,6 +52,11 @@ impl TaskHandle {
         let mut st = self.kernel.state.lock();
         let sec = Kernel::task_sec(&st, self.tid)?;
         let new_pair = sec.labels.with_label(ty, new);
+        if new_pair == sec.labels {
+            // O(1) by interned pair id: an identity change always passes
+            // both the capability rule and the LSM hook, so skip both.
+            return Ok(());
+        }
         check_pair_change(&sec.labels, &new_pair, &sec.caps)?;
         st.hook_calls += 1;
         self.kernel.module.task_set_label(&sec, &new_pair)?;
@@ -160,11 +162,8 @@ impl TaskHandle {
     /// Fails if the task has exited.
     pub fn drop_capabilities(&self, caps: &[Capability]) -> OsResult<()> {
         let mut st = self.kernel.state.lock();
-        let t = st
-            .tasks
-            .get_mut(&self.tid)
-            .filter(|t| t.alive)
-            .ok_or(OsError::NoSuchTask)?;
+        let t =
+            st.tasks.get_mut(&self.tid).filter(|t| t.alive).ok_or(OsError::NoSuchTask)?;
         for &c in caps {
             t.security.caps_mut().revoke(c);
         }
@@ -178,11 +177,7 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::PermissionDenied`] without the `tcb` tag or across
     /// address spaces.
-    pub fn grant_capabilities_tcb(
-        &self,
-        target: TaskId,
-        caps: &CapSet,
-    ) -> OsResult<()> {
+    pub fn grant_capabilities_tcb(&self, target: TaskId, caps: &CapSet) -> OsResult<()> {
         let mut st = self.kernel.state.lock();
         let sec = Kernel::task_sec(&st, self.tid)?;
         if !sec.labels.integrity().contains(self.kernel.tcb_tag()) {
@@ -236,14 +231,8 @@ impl TaskHandle {
             ));
         }
         let pid = st.tasks.get(&self.tid).unwrap().process;
-        let file = st
-            .processes
-            .get(&pid)
-            .unwrap()
-            .fds
-            .get(fd)
-            .cloned()
-            .ok_or(OsError::BadFd)?;
+        let file =
+            st.processes.get(&pid).unwrap().fds.get(fd).cloned().ok_or(OsError::BadFd)?;
         if file.pipe_end != Some(PipeEnd::Write) {
             return Err(OsError::BadFd);
         }
@@ -272,14 +261,8 @@ impl TaskHandle {
         let mut st = self.kernel.state.lock();
         let sec = Kernel::task_sec(&st, self.tid)?;
         let pid = st.tasks.get(&self.tid).unwrap().process;
-        let file = st
-            .processes
-            .get(&pid)
-            .unwrap()
-            .fds
-            .get(fd)
-            .cloned()
-            .ok_or(OsError::BadFd)?;
+        let file =
+            st.processes.get(&pid).unwrap().fds.get(fd).cloned().ok_or(OsError::BadFd)?;
         if file.pipe_end != Some(PipeEnd::Read) {
             return Err(OsError::BadFd);
         }
@@ -361,7 +344,8 @@ impl TaskHandle {
         if r.inode.is_some() {
             return Err(OsError::Exists);
         }
-        let parent = r.parent.ok_or(OsError::InvalidArgument("path names a directory"))?;
+        let parent =
+            r.parent.ok_or(OsError::InvalidArgument("path names a directory"))?;
         let parent_labels = Kernel::inode_labels(&st, parent)?;
         st.hook_calls += 1;
         self.kernel.module.inode_create(&sec, &parent_labels, &labels)?;
@@ -371,8 +355,7 @@ impl TaskHandle {
             InodeKind::File { data: Vec::new() }
         };
         let id = Kernel::alloc_inode(&mut st, kind, labels);
-        if let InodeKind::Dir { entries } =
-            &mut st.inodes.get_mut(&parent).unwrap().kind
+        if let InodeKind::Dir { entries } = &mut st.inodes.get_mut(&parent).unwrap().kind
         {
             entries.insert(r.name, id);
         }
@@ -462,14 +445,8 @@ impl TaskHandle {
         let mut st = self.kernel.state.lock();
         let sec = Kernel::task_sec(&st, self.tid)?;
         let pid = st.tasks.get(&self.tid).unwrap().process;
-        let file = st
-            .processes
-            .get(&pid)
-            .unwrap()
-            .fds
-            .get(fd)
-            .cloned()
-            .ok_or(OsError::BadFd)?;
+        let file =
+            st.processes.get(&pid).unwrap().fds.get(fd).cloned().ok_or(OsError::BadFd)?;
         if !file.mode.readable() {
             return Err(OsError::BadFd);
         }
@@ -537,14 +514,8 @@ impl TaskHandle {
         let mut st = self.kernel.state.lock();
         let sec = Kernel::task_sec(&st, self.tid)?;
         let pid = st.tasks.get(&self.tid).unwrap().process;
-        let file = st
-            .processes
-            .get(&pid)
-            .unwrap()
-            .fds
-            .get(fd)
-            .cloned()
-            .ok_or(OsError::BadFd)?;
+        let file =
+            st.processes.get(&pid).unwrap().fds.get(fd).cloned().ok_or(OsError::BadFd)?;
         if !file.mode.writable() {
             return Err(OsError::BadFd);
         }
@@ -696,8 +667,7 @@ impl TaskHandle {
         let victim_labels = Kernel::inode_labels(&st, ino)?;
         st.hook_calls += 1;
         self.kernel.module.inode_unlink(&sec, &parent_labels, &victim_labels)?;
-        if let InodeKind::Dir { entries } =
-            &mut st.inodes.get_mut(&parent).unwrap().kind
+        if let InodeKind::Dir { entries } = &mut st.inodes.get_mut(&parent).unwrap().kind
         {
             entries.remove(&r.name);
         }
@@ -827,16 +797,13 @@ impl TaskHandle {
             r.parent.ok_or(OsError::InvalidArgument("link path names a directory"))?;
         let parent_labels = Kernel::inode_labels(&st, parent)?;
         st.hook_calls += 1;
-        self.kernel
-            .module
-            .inode_create(&sec, &parent_labels, &sec.labels)?;
+        self.kernel.module.inode_create(&sec, &parent_labels, &sec.labels)?;
         let id = Kernel::alloc_inode(
             &mut st,
             InodeKind::Symlink { target: target.to_string() },
             sec.labels.clone(),
         );
-        if let InodeKind::Dir { entries } =
-            &mut st.inodes.get_mut(&parent).unwrap().kind
+        if let InodeKind::Dir { entries } = &mut st.inodes.get_mut(&parent).unwrap().kind
         {
             entries.insert(r.name, id);
         }
@@ -927,10 +894,8 @@ impl TaskHandle {
         let (cwd, fds, binary) =
             (parent.cwd, parent.fds.clone_for_fork(), parent.binary.clone());
         // Duplicated pipe ends gain reader/writer references.
-        let pipe_refs: Vec<(crate::vfs::inode::InodeId, PipeEnd)> = fds
-            .iter()
-            .filter_map(|(_, f)| f.pipe_end.map(|e| (f.inode, e)))
-            .collect();
+        let pipe_refs: Vec<(crate::vfs::inode::InodeId, PipeEnd)> =
+            fds.iter().filter_map(|(_, f)| f.pipe_end.map(|e| (f.inode, e))).collect();
         for (ino, end) in pipe_refs {
             if let Some(inode) = st.inodes.get_mut(&ino) {
                 if let InodeKind::Pipe { buffer } = &mut inode.kind {
@@ -1020,11 +985,8 @@ impl TaskHandle {
     /// Fails if already exited.
     pub fn exit(&self) -> OsResult<()> {
         let mut st = self.kernel.state.lock();
-        let t = st
-            .tasks
-            .get_mut(&self.tid)
-            .filter(|t| t.alive)
-            .ok_or(OsError::NoSuchTask)?;
+        let t =
+            st.tasks.get_mut(&self.tid).filter(|t| t.alive).ok_or(OsError::NoSuchTask)?;
         t.alive = false;
         let pid = t.process;
         // Reap: drop the task entry, and the whole process (with its fd
@@ -1067,8 +1029,7 @@ impl TaskHandle {
             Err(_) => return Err(OsError::NoSuchTask),
         };
         st.hook_calls += 1;
-        if self.kernel.module.task_kill(&sender, &target_sec)
-            == DeliveryVerdict::Deliver
+        if self.kernel.module.task_kill(&sender, &target_sec) == DeliveryVerdict::Deliver
         {
             st.tasks.get_mut(&target).unwrap().pending_signals.push_back(sig);
         }
@@ -1081,11 +1042,8 @@ impl TaskHandle {
     /// Fails if the task has exited.
     pub fn next_signal(&self) -> OsResult<Option<Signal>> {
         let mut st = self.kernel.state.lock();
-        let t = st
-            .tasks
-            .get_mut(&self.tid)
-            .filter(|t| t.alive)
-            .ok_or(OsError::NoSuchTask)?;
+        let t =
+            st.tasks.get_mut(&self.tid).filter(|t| t.alive).ok_or(OsError::NoSuchTask)?;
         Ok(t.pending_signals.pop_front())
     }
 
@@ -1184,11 +1142,8 @@ impl TaskHandle {
             .ok_or(OsError::NoSuchTask)?
             .process;
         let p = st.processes.get_mut(&pid).unwrap();
-        let area = p
-            .vm_areas
-            .iter_mut()
-            .find(|a| a.start == start)
-            .ok_or(OsError::Fault)?;
+        let area =
+            p.vm_areas.iter_mut().find(|a| a.start == start).ok_or(OsError::Fault)?;
         area.read = read;
         area.write = write;
         Ok(())
@@ -1218,4 +1173,3 @@ impl TaskHandle {
         Err(OsError::Fault)
     }
 }
-

@@ -81,8 +81,8 @@ pub(crate) fn analyze(program: &Program, func: &Function) -> VmResult<AbsStacks>
         let mut stack = before[pc].clone().expect("worklist holds reachable pcs");
 
         // Apply the transfer function.
-        let (pops, pushes) = call_effect(program, &instr)
-            .unwrap_or_else(|| instr.stack_effect());
+        let (pops, pushes) =
+            call_effect(program, &instr).unwrap_or_else(|| instr.stack_effect());
         let (pops, pushes) = match instr {
             Instr::Return => (usize::from(func.returns), 0),
             _ => (pops, pushes),

@@ -95,9 +95,7 @@ fn parse_tag_list(line: usize, spec: &str) -> VmResult<Vec<TagIdx>> {
     if spec.is_empty() {
         return Ok(Vec::new());
     }
-    spec.split(',')
-        .map(|t| parse_u16(line, t.trim(), "tag index"))
-        .collect()
+    spec.split(',').map(|t| parse_u16(line, t.trim(), "tag index")).collect()
 }
 
 impl<'s> Assembler<'s> {
@@ -139,9 +137,8 @@ impl<'s> Assembler<'s> {
             let head = toks.next().unwrap();
             match head {
                 ".class" => {
-                    let name = toks
-                        .next()
-                        .ok_or_else(|| err(line, "expected class name"))?;
+                    let name =
+                        toks.next().ok_or_else(|| err(line, "expected class name"))?;
                     let n = parse_u16(
                         line,
                         toks.next().ok_or_else(|| err(line, "expected field count"))?,
@@ -151,9 +148,8 @@ impl<'s> Assembler<'s> {
                     self.classes.insert(name.to_string(), id);
                 }
                 ".pair" => {
-                    let name = toks
-                        .next()
-                        .ok_or_else(|| err(line, "expected pair name"))?;
+                    let name =
+                        toks.next().ok_or_else(|| err(line, "expected pair name"))?;
                     let mut secrecy = Vec::new();
                     let mut integrity = Vec::new();
                     for t in toks {
@@ -169,29 +165,23 @@ impl<'s> Assembler<'s> {
                     self.pairs.insert(name.to_string(), id);
                 }
                 ".static" => {
-                    let name = toks
-                        .next()
-                        .ok_or_else(|| err(line, "expected static name"))?;
+                    let name =
+                        toks.next().ok_or_else(|| err(line, "expected static name"))?;
                     let id = pb.add_static(name);
                     self.statics.insert(name.to_string(), id);
                 }
                 ".lstatic" => {
-                    let name = toks
-                        .next()
-                        .ok_or_else(|| err(line, "expected static name"))?;
+                    let name =
+                        toks.next().ok_or_else(|| err(line, "expected static name"))?;
                     let pair = self.pair(line, toks.next())?;
                     let id = pb.add_static_labeled(name, pair);
                     self.statics.insert(name.to_string(), id);
                 }
                 ".string" => {
-                    let name = toks
-                        .next()
-                        .ok_or_else(|| err(line, "expected string name"))?;
-                    let rest = text
-                        .splitn(3, char::is_whitespace)
-                        .nth(2)
-                        .unwrap_or("")
-                        .trim();
+                    let name =
+                        toks.next().ok_or_else(|| err(line, "expected string name"))?;
+                    let rest =
+                        text.splitn(3, char::is_whitespace).nth(2).unwrap_or("").trim();
                     let value = rest
                         .strip_prefix('"')
                         .and_then(|r| r.strip_suffix('"'))
@@ -238,10 +228,8 @@ impl<'s> Assembler<'s> {
         let mut toks = text.split_whitespace();
         let head = toks.next().unwrap();
         let region = head == ".regionfn";
-        let name = toks
-            .next()
-            .ok_or_else(|| err(line, "expected function name"))?
-            .to_string();
+        let name =
+            toks.next().ok_or_else(|| err(line, "expected function name"))?.to_string();
         let params = parse_u16(
             line,
             toks.next().ok_or_else(|| err(line, "expected param count"))?,
@@ -268,7 +256,14 @@ impl<'s> Assembler<'s> {
         if region && returns {
             return Err(err(line, "region functions must not return a value"));
         }
-        Ok(FuncSrc { name, params, returns, locals: locals.max(params), region, body: Vec::new() })
+        Ok(FuncSrc {
+            name,
+            params,
+            returns,
+            locals: locals.max(params),
+            region,
+            body: Vec::new(),
+        })
     }
 
     fn parse_region(
@@ -279,9 +274,7 @@ impl<'s> Assembler<'s> {
     ) -> VmResult<()> {
         let mut toks = text.split_whitespace();
         toks.next(); // .region
-        let name = toks
-            .next()
-            .ok_or_else(|| err(line, "expected region name"))?;
+        let name = toks.next().ok_or_else(|| err(line, "expected region name"))?;
         let pair = self.pair(line, toks.next())?;
         let mut caps: Vec<(TagIdx, CapKind)> = Vec::new();
         let mut catch: Option<FuncId> = None;
@@ -293,7 +286,10 @@ impl<'s> Assembler<'s> {
                     } else if let Some(i) = c.strip_suffix('-') {
                         (i, CapKind::Minus)
                     } else {
-                        return Err(err(line, format!("bad capability {c} (want N+ or N-)")));
+                        return Err(err(
+                            line,
+                            format!("bad capability {c} (want N+ or N-)"),
+                        ));
                     };
                     caps.push((parse_u16(line, idx, "tag index")?, kind));
                 }
@@ -572,11 +568,7 @@ pub fn disassemble(program: &Program) -> String {
     for (i, p) in program.pair_specs.iter().enumerate() {
         let s: Vec<String> = p.secrecy.iter().map(u16::to_string).collect();
         let int: Vec<String> = p.integrity.iter().map(u16::to_string).collect();
-        out.push_str(&format!(
-            ".pair P{i} s={} i={}\n",
-            s.join(","),
-            int.join(",")
-        ));
+        out.push_str(&format!(".pair P{i} s={} i={}\n", s.join(","), int.join(",")));
     }
     for st in &program.statics {
         match st.labels {
@@ -591,9 +583,7 @@ pub fn disassemble(program: &Program) -> String {
         let caps: Vec<String> = r
             .caps
             .iter()
-            .map(|(t, k)| {
-                format!("{t}{}", if *k == CapKind::Plus { "+" } else { "-" })
-            })
+            .map(|(t, k)| format!("{t}{}", if *k == CapKind::Plus { "+" } else { "-" }))
             .collect();
         let catch = r
             .catch
@@ -667,11 +657,9 @@ pub fn disassemble(program: &Program) -> String {
                 Instr::Call(f2) => {
                     format!("call {}", program.functions[f2.0 as usize].name)
                 }
-                Instr::CallSecure(f2, r) => format!(
-                    "calls {} R{}",
-                    program.functions[f2.0 as usize].name,
-                    r.0
-                ),
+                Instr::CallSecure(f2, r) => {
+                    format!("calls {} R{}", program.functions[f2.0 as usize].name, r.0)
+                }
                 Instr::Return => "ret".into(),
                 Instr::CopyAndLabel(p) => format!("copylabel P{}", p.0),
                 Instr::Throw => "throw".into(),

@@ -103,7 +103,8 @@ pub(crate) struct CInstr {
 /// A compiled function body.
 #[derive(Debug)]
 pub(crate) struct CompiledFunction {
-    #[allow(dead_code)] // recorded for diagnostics; the mismatch check keys off Vm::static_choice
+    #[allow(dead_code)]
+    // recorded for diagnostics; the mismatch check keys off Vm::static_choice
     pub ctx: Ctx,
     pub code: Vec<CInstr>,
     /// Abstract compile cost: instructions emitted plus inlined-barrier
@@ -232,20 +233,15 @@ mod tests {
     fn in_region_inserts_read_write_barriers() {
         let p = simple_program();
         let c = compile(&p, 0, Ctx::InRegion, false).unwrap();
-        let barriers: Vec<Barrier> =
-            c.code.iter().filter_map(|ci| ci.barrier).collect();
-        assert_eq!(
-            barriers,
-            vec![Barrier::ReadIn, Barrier::ReadIn, Barrier::WriteIn]
-        );
+        let barriers: Vec<Barrier> = c.code.iter().filter_map(|ci| ci.barrier).collect();
+        assert_eq!(barriers, vec![Barrier::ReadIn, Barrier::ReadIn, Barrier::WriteIn]);
     }
 
     #[test]
     fn optimization_removes_second_read() {
         let p = simple_program();
         let c = compile(&p, 0, Ctx::InRegion, true).unwrap();
-        let barriers: Vec<Barrier> =
-            c.code.iter().filter_map(|ci| ci.barrier).collect();
+        let barriers: Vec<Barrier> = c.code.iter().filter_map(|ci| ci.barrier).collect();
         assert_eq!(barriers, vec![Barrier::ReadIn, Barrier::WriteIn]);
         assert_eq!(c.eliminated, 1);
     }
@@ -277,11 +273,7 @@ mod tests {
             comp.code.iter().filter_map(|ci| ci.barrier).collect();
         assert_eq!(
             barriers,
-            vec![
-                Barrier::StaticReadIn,
-                Barrier::StaticWriteIn,
-                Barrier::AllocIn
-            ]
+            vec![Barrier::StaticReadIn, Barrier::StaticWriteIn, Barrier::AllocIn]
         );
         // Outside a region: statics still get the labeled-space check
         // (labeled statics are inaccessible there); allocs are unlabeled
@@ -289,9 +281,6 @@ mod tests {
         let comp = compile(&p, 0, Ctx::OutRegion, true).unwrap();
         let barriers: Vec<Barrier> =
             comp.code.iter().filter_map(|ci| ci.barrier).collect();
-        assert_eq!(
-            barriers,
-            vec![Barrier::StaticReadOut, Barrier::StaticWriteOut]
-        );
+        assert_eq!(barriers, vec![Barrier::StaticReadOut, Barrier::StaticWriteOut]);
     }
 }

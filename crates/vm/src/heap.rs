@@ -26,7 +26,9 @@ pub(crate) enum ObjKind {
         class: ClassId,
         fields: Vec<Value>,
     },
-    Array { elems: Vec<Value> },
+    Array {
+        elems: Vec<Value>,
+    },
 }
 
 /// A heap cell: payload plus the two label header words.
@@ -79,11 +81,7 @@ impl Heap {
         r
     }
 
-    pub(crate) fn alloc_array(
-        &mut self,
-        len: usize,
-        labels: Option<SecPair>,
-    ) -> ObjRef {
+    pub(crate) fn alloc_array(&mut self, len: usize, labels: Option<SecPair>) -> ObjRef {
         let r = ObjRef(self.objects.len() as u32);
         self.objects.push(HeapObject {
             kind: ObjKind::Array { elems: vec![Value::Null; len] },
@@ -97,9 +95,7 @@ impl Heap {
     }
 
     pub(crate) fn get_mut(&mut self, r: ObjRef) -> VmResult<&mut HeapObject> {
-        self.objects
-            .get_mut(r.0 as usize)
-            .ok_or(VmError::Malformed("dangling reference"))
+        self.objects.get_mut(r.0 as usize).ok_or(VmError::Malformed("dangling reference"))
     }
 
     /// The labels of an object (`None` for the ordinary space).

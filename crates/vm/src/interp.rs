@@ -264,7 +264,11 @@ impl Vm {
     ///
     /// # Errors
     /// [`VmError::Malformed`] if no such function; else as [`Self::call`].
-    pub fn call_by_name(&mut self, name: &str, args: &[Value]) -> VmResult<Option<Value>> {
+    pub fn call_by_name(
+        &mut self,
+        name: &str,
+        args: &[Value],
+    ) -> VmResult<Option<Value>> {
         let f = self
             .program
             .func_by_name(name)
@@ -320,12 +324,8 @@ impl Vm {
         if let Some(c) = &self.compiled[f.0 as usize][slot] {
             return Ok(Arc::clone(c));
         }
-        let c = Arc::new(crate::compile::compile(
-            &self.program,
-            f.0,
-            wanted,
-            self.optimize,
-        )?);
+        let c =
+            Arc::new(crate::compile::compile(&self.program, f.0, wanted, self.optimize)?);
         self.stats.functions_compiled += 1;
         self.stats.compile_cost += c.cost;
         self.stats.barriers_eliminated += c.eliminated;
@@ -387,9 +387,7 @@ impl Vm {
         // next syscall in an outer region will re-sync lazily.
         if self.kernel_labels.as_ref() == Some(&self.labels) {
             if let Some(bridge) = self.bridge.as_mut() {
-                bridge
-                    .restore_labels(&SecPair::unlabeled())
-                    .map_err(VmError::Os)?;
+                bridge.restore_labels(&SecPair::unlabeled()).map_err(VmError::Os)?;
             }
             self.kernel_labels = None;
         } else if !self.labels.is_unlabeled() {
@@ -408,14 +406,10 @@ impl Vm {
         {
             return Ok(());
         }
-        let bridge = self
-            .bridge
-            .as_mut()
-            .ok_or(VmError::Os("no OS bridge attached".into()))?;
+        let bridge =
+            self.bridge.as_mut().ok_or(VmError::Os("no OS bridge attached".into()))?;
         if self.labels.is_unlabeled() {
-            bridge
-                .restore_labels(&SecPair::unlabeled())
-                .map_err(VmError::Os)?;
+            bridge.restore_labels(&SecPair::unlabeled()).map_err(VmError::Os)?;
             self.kernel_labels = None;
         } else {
             bridge.sync_labels(&self.labels).map_err(VmError::Os)?;
@@ -441,23 +435,19 @@ impl Vm {
     // --- barriers ---------------------------------------------------------
 
     fn object_pair(&self, obj: ObjRef) -> VmResult<SecPair> {
-        Ok(self
-            .heap
-            .labels_of(obj)?
-            .cloned()
-            .unwrap_or_else(SecPair::unlabeled))
+        Ok(self.heap.labels_of(obj)?.cloned().unwrap_or_else(SecPair::unlabeled))
     }
 
     fn barrier_read_in(&mut self, obj: ObjRef) -> VmResult<()> {
         self.stats.read_barriers += 1;
         let pair = self.object_pair(obj)?;
-        pair.can_flow_to(&self.labels).map_err(VmError::from)
+        pair.can_flow_to_cached(&self.labels).map_err(VmError::from)
     }
 
     fn barrier_write_in(&mut self, obj: ObjRef) -> VmResult<()> {
         self.stats.write_barriers += 1;
         let pair = self.object_pair(obj)?;
-        self.labels.can_flow_to(&pair).map_err(VmError::from)
+        self.labels.can_flow_to_cached(&pair).map_err(VmError::from)
     }
 
     fn barrier_out(&mut self, obj: ObjRef, is_read: bool) -> VmResult<()> {
@@ -531,13 +521,13 @@ impl Vm {
                 let pair = self.static_pair_of(instr)?;
                 // For an unlabeled static this is exactly the prototype's
                 // rule: an integrity region may not read it (I_thr ⊄ {}).
-                pair.can_flow_to(&self.labels).map_err(VmError::from)
+                pair.can_flow_to_cached(&self.labels).map_err(VmError::from)
             }
             Barrier::StaticWriteIn => {
                 self.stats.static_barriers += 1;
                 let pair = self.static_pair_of(instr)?;
                 // Unlabeled static: a secrecy region may not write it.
-                self.labels.can_flow_to(&pair).map_err(VmError::from)
+                self.labels.can_flow_to_cached(&pair).map_err(VmError::from)
             }
             Barrier::StaticReadOut | Barrier::StaticWriteOut => {
                 self.stats.static_barriers += 1;
@@ -614,19 +604,18 @@ impl Vm {
                     return Err(VmError::LabeledAccessOutsideRegion);
                 }
             }
-            None => {
+            None
                 // None occurs in BarrierMode::None (unsafe baseline) or
                 // for out-of-region static compilation, where explicitly
                 // labeled allocation must be rejected.
-                if self.mode != BarrierMode::None {
+                if self.mode != BarrierMode::None => {
                     return Err(VmError::LabeledAccessOutsideRegion);
                 }
-            }
             _ => {}
         }
         if b.is_some() {
             self.stats.alloc_barriers += 1;
-            self.labels.can_flow_to(&pair)?;
+            self.labels.can_flow_to_cached(&pair)?;
         }
         Ok(if pair.is_unlabeled() { None } else { Some(pair) })
     }
@@ -677,9 +666,10 @@ impl Vm {
                     let obj = pop!().as_ref()?;
                     match &self.heap.get(obj)?.kind {
                         ObjKind::Object { fields, .. } => {
-                            let v = fields.get(n as usize).copied().ok_or(
-                                VmError::Malformed("field index out of range"),
-                            )?;
+                            let v = fields
+                                .get(n as usize)
+                                .copied()
+                                .ok_or(VmError::Malformed("field index out of range"))?;
                             stack.push(v);
                         }
                         ObjKind::Array { .. } => {
@@ -703,15 +693,13 @@ impl Vm {
                 }
                 Instr::NewObject(c) => {
                     let labels = self.alloc_labels(barrier);
-                    let nfields =
-                        self.program.classes[c.0 as usize].nfields as usize;
+                    let nfields = self.program.classes[c.0 as usize].nfields as usize;
                     let r = self.heap.alloc_object(c, nfields, labels);
                     stack.push(Value::Ref(r));
                 }
                 Instr::NewObjectLabeled(c, spec) => {
                     let labels = self.alloc_labels_explicit(barrier, spec)?;
-                    let nfields =
-                        self.program.classes[c.0 as usize].nfields as usize;
+                    let nfields = self.program.classes[c.0 as usize].nfields as usize;
                     let r = self.heap.alloc_object(c, nfields, labels);
                     stack.push(Value::Ref(r));
                 }
@@ -890,9 +878,9 @@ impl Vm {
                         // exceptions too (§4.3.3).
                         if let Some(cfid) = catch {
                             let cfunc = &self.program.functions[cfid.0 as usize];
-                            let catch_args =
-                                cargs[..(cfunc.params as usize).min(cargs.len())]
-                                    .to_vec();
+                            let catch_args = cargs
+                                [..(cfunc.params as usize).min(cargs.len())]
+                                .to_vec();
                             if catch_args.len() == cfunc.params as usize {
                                 match self.exec(cfid, catch_args) {
                                     Ok(_) => {}
@@ -910,11 +898,7 @@ impl Vm {
                     self.exit_region()?;
                 }
                 Instr::Return => {
-                    return if returns {
-                        Ok(Some(pop!()))
-                    } else {
-                        Ok(None)
-                    };
+                    return if returns { Ok(Some(pop!())) } else { Ok(None) };
                 }
                 Instr::CopyAndLabel(spec) => {
                     if !self.in_region() && self.mode != BarrierMode::None {

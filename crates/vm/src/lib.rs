@@ -83,6 +83,7 @@ mod stats;
 mod value;
 mod verify;
 
+pub use asm::{assemble, disassemble};
 pub use bridge::{NoOs, OsBridge};
 pub use bytecode::{
     FuncId, Instr, PairSpec, PairSpecId, RegionSpec, RegionSpecId, StaticId, StrId,
@@ -92,8 +93,9 @@ pub use compile::BarrierMode;
 pub use error::{VmError, VmResult};
 pub use heap::{ClassId, Heap};
 pub use interp::Vm;
-pub use asm::{assemble, disassemble};
-pub use program::{Class, CodeLabel, Function, FunctionBuilder, Program, ProgramBuilder, StaticDecl};
+pub use program::{
+    Class, CodeLabel, Function, FunctionBuilder, Program, ProgramBuilder, StaticDecl,
+};
 pub use stats::VmStats;
 pub use value::{ObjRef, Value};
 pub use verify::verify;

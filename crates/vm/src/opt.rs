@@ -64,10 +64,8 @@ pub(crate) fn plan_barriers(
     enabled: bool,
 ) -> BarrierPlan {
     let n = func.body.len();
-    let mut plan = BarrierPlan {
-        redundant_read: vec![false; n],
-        redundant_write: vec![false; n],
-    };
+    let mut plan =
+        BarrierPlan { redundant_read: vec![false; n], redundant_write: vec![false; n] };
     if !enabled || n == 0 {
         return plan;
     }
@@ -190,10 +188,7 @@ mod tests {
             b.ret();
         });
         let (plan, body) = plan_for(pb, "f");
-        let put = body
-            .iter()
-            .position(|i| matches!(i, Instr::PutField(_)))
-            .unwrap();
+        let put = body.iter().position(|i| matches!(i, Instr::PutField(_))).unwrap();
         assert!(!plan.redundant_write[put]);
     }
 
@@ -210,10 +205,7 @@ mod tests {
         // is Local(0), not Fresh — conservatively NOT redundant on the
         // first touch (the paper's analysis has the same shape).
         let (plan, body) = plan_for(pb, "f");
-        let put = body
-            .iter()
-            .position(|i| matches!(i, Instr::PutField(_)))
-            .unwrap();
+        let put = body.iter().position(|i| matches!(i, Instr::PutField(_))).unwrap();
         assert!(!plan.redundant_write[put]);
 
         // But a direct access on the fresh reference IS redundant.
@@ -223,10 +215,7 @@ mod tests {
             b.new_object(c).push_int(1).put_field(0).ret();
         });
         let (plan, body) = plan_for(pb, "g");
-        let put = body
-            .iter()
-            .position(|i| matches!(i, Instr::PutField(_)))
-            .unwrap();
+        let put = body.iter().position(|i| matches!(i, Instr::PutField(_))).unwrap();
         assert!(plan.redundant_write[put]);
     }
 
@@ -272,7 +261,7 @@ mod tests {
             .filter(|(_, i)| matches!(i, Instr::GetField(_)))
             .map(|(pc, _)| pc)
             .collect();
-        assert!(plan.redundant_read[reads[1]] == false);
+        assert!(!plan.redundant_read[reads[1]]);
     }
 
     #[test]

@@ -75,10 +75,7 @@ impl Program {
     /// Looks up a function id by name (test convenience).
     #[must_use]
     pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
-        self.functions
-            .iter()
-            .position(|f| f.name == name)
-            .map(|i| FuncId(i as u32))
+        self.functions.iter().position(|f| f.name == name).map(|i| FuncId(i as u32))
     }
 }
 
@@ -123,9 +120,7 @@ impl ProgramBuilder {
 
     /// Adds an unlabeled static variable.
     pub fn add_static(&mut self, name: &str) -> StaticId {
-        self.program
-            .statics
-            .push(StaticDecl { name: name.to_string(), labels: None });
+        self.program.statics.push(StaticDecl { name: name.to_string(), labels: None });
         StaticId(self.program.statics.len() as u32 - 1)
     }
 
@@ -145,7 +140,11 @@ impl ProgramBuilder {
     }
 
     /// Adds a `{S(..), I(..)}` literal over tag indices.
-    pub fn add_pair_spec(&mut self, secrecy: &[TagIdx], integrity: &[TagIdx]) -> PairSpecId {
+    pub fn add_pair_spec(
+        &mut self,
+        secrecy: &[TagIdx],
+        integrity: &[TagIdx],
+    ) -> PairSpecId {
         for &t in secrecy.iter().chain(integrity) {
             self.program.tags_used = self.program.tags_used.max(t + 1);
         }
@@ -165,9 +164,7 @@ impl ProgramBuilder {
         for &(t, _) in caps {
             self.program.tags_used = self.program.tags_used.max(t + 1);
         }
-        self.program
-            .region_specs
-            .push(RegionSpec { pair, caps: caps.to_vec(), catch });
+        self.program.region_specs.push(RegionSpec { pair, caps: caps.to_vec(), catch });
         RegionSpecId(self.program.region_specs.len() as u32 - 1)
     }
 
@@ -340,7 +337,10 @@ impl FunctionBuilder {
                 other => other,
             };
         }
-        if !matches!(self.code.last(), Some(Instr::Return | Instr::Jump(_) | Instr::Throw)) {
+        if !matches!(
+            self.code.last(),
+            Some(Instr::Return | Instr::Jump(_) | Instr::Throw)
+        ) {
             self.code.push(Instr::Return);
         }
         self.code

@@ -41,7 +41,10 @@ impl VmStats {
     /// Total barriers executed at run time.
     #[must_use]
     pub fn total_barriers(&self) -> u64 {
-        self.read_barriers + self.write_barriers + self.static_barriers + self.alloc_barriers
+        self.read_barriers
+            + self.write_barriers
+            + self.static_barriers
+            + self.alloc_barriers
     }
 }
 

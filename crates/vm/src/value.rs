@@ -98,10 +98,7 @@ mod tests {
         assert!(Value::Bool(true).as_int().is_err());
         assert!(Value::Int(1).as_bool().is_err());
         assert!(Value::Int(1).as_ref().is_err());
-        assert!(matches!(
-            Value::Null.as_ref(),
-            Err(crate::VmError::NullPointer)
-        ));
+        assert!(matches!(Value::Null.as_ref(), Err(crate::VmError::NullPointer)));
     }
 
     #[test]

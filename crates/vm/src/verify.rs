@@ -70,12 +70,11 @@ fn verify_function(program: &Program, func: &Function) -> VmResult<()> {
 
     // Structural checks that don't need the abstract stacks.
     for (pc, i) in func.body.iter().enumerate() {
-        let err = |msg: String| Err(VmError::Verify(format!("{}:{pc}: {msg}", func.name)));
+        let err =
+            |msg: String| Err(VmError::Verify(format!("{}:{pc}: {msg}", func.name)));
         match i {
-            Instr::Load(l) | Instr::Store(l) => {
-                if *l >= func.locals {
-                    return err(format!("local {l} out of range"));
-                }
+            Instr::Load(l) | Instr::Store(l) if *l >= func.locals => {
+                return err(format!("local {l} out of range"));
             }
             Instr::NewObject(c) | Instr::NewObjectLabeled(c, _) => {
                 if c.0 as usize >= program.classes.len() {
@@ -87,15 +86,15 @@ fn verify_function(program: &Program, func: &Function) -> VmResult<()> {
                     }
                 }
             }
-            Instr::NewArrayLabeled(p) | Instr::CopyAndLabel(p) => {
-                if p.0 as usize >= program.pair_specs.len() {
-                    return err("unknown pair spec".into());
-                }
+            Instr::NewArrayLabeled(p) | Instr::CopyAndLabel(p)
+                if p.0 as usize >= program.pair_specs.len() =>
+            {
+                return err("unknown pair spec".into());
             }
-            Instr::GetStatic(s) | Instr::PutStatic(s) => {
-                if s.0 as usize >= program.statics.len() {
-                    return err("unknown static".into());
-                }
+            Instr::GetStatic(s) | Instr::PutStatic(s)
+                if s.0 as usize >= program.statics.len() =>
+            {
+                return err("unknown static".into());
             }
             Instr::Call(f) => {
                 let callee = match program.functions.get(f.0 as usize) {
@@ -124,10 +123,10 @@ fn verify_function(program: &Program, func: &Function) -> VmResult<()> {
                     return err("unknown region spec".into());
                 }
             }
-            Instr::OsWriteByte(s) | Instr::OsReadByte(s) => {
-                if s.0 as usize >= program.strings.len() {
-                    return err("unknown string".into());
-                }
+            Instr::OsWriteByte(s) | Instr::OsReadByte(s)
+                if s.0 as usize >= program.strings.len() =>
+            {
+                return err("unknown string".into());
             }
             _ => {}
         }
@@ -164,46 +163,40 @@ fn verify_function(program: &Program, func: &Function) -> VmResult<()> {
             // Dereferencing a parameter is the one allowed use: the
             // object position of field/array instructions.
             Instr::GetField(_) | Instr::ArrayLen => {} // base at depth 0: allowed
-            Instr::PutField(_) => {
+            Instr::PutField(_)
                 // value at depth 0 must not be a param reference.
-                if is_param(abs.operand(pc, 0)) {
+                if is_param(abs.operand(pc, 0)) => {
                     return err("a parameter reference may not be stored into a field");
                 }
-            }
             Instr::ALoad => {} // [arr, idx]: arr allowed, idx would be int
-            Instr::AStore => {
-                if is_param(abs.operand(pc, 0)) {
+            Instr::AStore
+                if is_param(abs.operand(pc, 0)) => {
                     return err("a parameter reference may not be stored into an array");
                 }
-            }
             // Reading the reference's value: comparisons, arithmetic,
             // control flow, throw, returning, OS writes.
-            Instr::CmpEq | Instr::CmpLt | Instr::CmpLe => {
-                if is_param(abs.operand(pc, 0)) || is_param(abs.operand(pc, 1)) {
+            Instr::CmpEq | Instr::CmpLt | Instr::CmpLe
+                if (is_param(abs.operand(pc, 0)) || is_param(abs.operand(pc, 1))) => {
                     return err("parameters may not be compared (e.g. `obj == null`)");
                 }
-            }
             Instr::Add
             | Instr::Sub
             | Instr::Mul
             | Instr::Div
             | Instr::Mod
             | Instr::And
-            | Instr::Or => {
-                if is_param(abs.operand(pc, 0)) || is_param(abs.operand(pc, 1)) {
+            | Instr::Or
+                if (is_param(abs.operand(pc, 0)) || is_param(abs.operand(pc, 1))) => {
                     return err("parameters may not be used arithmetically");
                 }
-            }
-            Instr::Neg | Instr::Not | Instr::Throw | Instr::OsWriteByte(_) => {
-                if is_param(abs.operand(pc, 0)) {
+            Instr::Neg | Instr::Not | Instr::Throw | Instr::OsWriteByte(_)
+                if is_param(abs.operand(pc, 0)) => {
                     return err("parameters may not be read as values");
                 }
-            }
-            Instr::JumpIfTrue(_) | Instr::JumpIfFalse(_) => {
-                if is_param(abs.operand(pc, 0)) {
+            Instr::JumpIfTrue(_) | Instr::JumpIfFalse(_)
+                if is_param(abs.operand(pc, 0)) => {
                     return err("parameters may not drive control flow");
                 }
-            }
             // Passing a parameter onward to a call is a dereference-like
             // use (the callee is itself verified); allowed.
             _ => {}

@@ -5,7 +5,7 @@
 //! Run with: `cargo run --example battleship_game`
 
 use laminar::{Laminar, LaminarError};
-use laminar_apps::battleship::{Battleship, BaselineBattleship};
+use laminar_apps::battleship::{BaselineBattleship, Battleship};
 
 fn main() -> Result<(), LaminarError> {
     let system = Laminar::boot();
@@ -30,10 +30,7 @@ fn main() -> Result<(), LaminarError> {
     println!("  security regions entered : {}", stats.regions_entered);
     println!("  labeled board updates    : {}", stats.labeled_writes);
     println!("  declassified bits        : {} copy_and_label calls", stats.copies);
-    println!(
-        "  time inside regions      : {:.2} ms",
-        stats.region_ns as f64 / 1e6
-    );
+    println!("  time inside regions      : {:.2} ms", stats.region_ns as f64 / 1e6);
     println!();
     println!("what DIFC bought us: neither player's process can read the");
     println!("other's board — only the declassified hit/miss bit crosses.");

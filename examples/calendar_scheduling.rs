@@ -24,7 +24,10 @@ fn main() -> Result<(), LaminarError> {
     let slot = cal.schedule_meeting(10)?;
     println!("scheduler found common slot {slot} (expected 13)");
 
-    println!("alice reads the meeting from her {{S(a)}} file: {}", cal.alice_read_meeting()?);
+    println!(
+        "alice reads the meeting from her {{S(a)}} file: {}",
+        cal.alice_read_meeting()?
+    );
 
     // Make the morning busy and reschedule.
     cal.add_busy(0, 13)?;
@@ -36,9 +39,14 @@ fn main() -> Result<(), LaminarError> {
     println!();
     println!("runtime summary:");
     println!("  security regions entered : {}", stats.regions_entered);
-    println!("  labeled reads / writes   : {} / {}", stats.labeled_reads, stats.labeled_writes);
+    println!(
+        "  labeled reads / writes   : {} / {}",
+        stats.labeled_reads, stats.labeled_writes
+    );
     println!("  declassifications        : {}", stats.copies);
-    println!("  VM->OS label syncs       : {} ({} elided by laziness)",
-             stats.os_syncs, stats.os_syncs_elided);
+    println!(
+        "  VM->OS label syncs       : {} ({} elided by laziness)",
+        stats.os_syncs, stats.os_syncs_elided
+    );
     Ok(())
 }

@@ -34,14 +34,8 @@ fn main() -> Result<(), LaminarError> {
         "carol tries to ban mallory -> {:?}",
         server.ban("carol", "general", "mallory")?
     );
-    println!(
-        "root bans mallory -> {:?}",
-        server.ban("root", "general", "mallory")?
-    );
-    println!(
-        "mallory re-joins -> {:?} (banned)",
-        server.join("mallory", "general")?
-    );
+    println!("root bans mallory -> {:?}", server.ban("root", "general", "mallory")?);
+    println!("mallory re-joins -> {:?} (banned)", server.join("mallory", "general")?);
 
     // Themes are superuser-protected; private messages are secrecy-labeled.
     println!("root sets theme -> {:?}", server.set_theme("root", "general", "midnight")?);

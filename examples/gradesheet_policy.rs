@@ -40,6 +40,9 @@ fn main() -> Result<(), LaminarError> {
 
     // Only the professor can compute (and declassify) the average — the
     // leak Laminar exposed in the original policy.
-    println!("professor's declassified class average (project 0): {}", gs.professor_average(0)?);
+    println!(
+        "professor's declassified class average (project 0): {}",
+        gs.professor_average(0)?
+    );
     Ok(())
 }

@@ -47,9 +47,8 @@ fn main() -> Result<(), LaminarError> {
 
     // (2) A tainted region cannot write a public file — and the failure
     // is confined to the region.
-    let weaker = RegionParams::new()
-        .secrecy(Label::singleton(tag))
-        .grant(Capability::plus(tag)); // note: no a- here
+    let weaker =
+        RegionParams::new().secrecy(Label::singleton(tag)).grant(Capability::plus(tag)); // note: no a- here
     let fd = alice.task().create("/tmp/public.txt")?;
     alice.task().close(fd)?;
     let outcome = alice.secure(

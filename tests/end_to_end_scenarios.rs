@@ -116,9 +116,8 @@ fn raw_processes_are_constrained_by_the_os_alone() {
     sys.add_user(UserId(51), "modern");
     let modern = sys.login(UserId(51)).unwrap();
     let t = modern.create_tag().unwrap();
-    let params = RegionParams::new()
-        .secrecy(Label::singleton(t))
-        .grant(Capability::plus(t));
+    let params =
+        RegionParams::new().secrecy(Label::singleton(t)).grant(Capability::plus(t));
 
     // The modern app pre-creates a labeled file and fills it in-region.
     let fd = modern
@@ -165,23 +164,17 @@ fn memoization_pitfall_of_section_4_6() {
     let a = p.create_tag().unwrap();
     let b = p.create_tag().unwrap();
 
-    let region_a = RegionParams::new()
-        .secrecy(Label::singleton(a))
-        .grant(Capability::plus(a));
-    let region_b = RegionParams::new()
-        .secrecy(Label::singleton(b))
-        .grant(Capability::plus(b));
+    let region_a =
+        RegionParams::new().secrecy(Label::singleton(a)).grant(Capability::plus(a));
+    let region_b =
+        RegionParams::new().secrecy(Label::singleton(b)).grant(Capability::plus(b));
 
     // First call, inside {S(a)}: computes and memoizes.
-    let memo = p
-        .secure(&region_a, |g| Ok(g.new_labeled(42u64)), |_| {})
-        .unwrap()
-        .unwrap();
+    let memo =
+        p.secure(&region_a, |g| Ok(g.new_labeled(42u64)), |_| {}).unwrap().unwrap();
 
     // Later call with a different label: the attempt to return the
     // memoized value is prevented (read suppressed).
-    let reuse = p
-        .secure(&region_b, |g| memo.read(g, |v| *v), |_| {})
-        .unwrap();
+    let reuse = p.secure(&region_b, |g| memo.read(g, |v| *v), |_| {}).unwrap();
     assert!(reuse.is_none(), "cross-label memo reuse must be blocked");
 }

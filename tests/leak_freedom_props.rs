@@ -5,34 +5,37 @@
 //! model (`laminar-difc`) allows — no enforcement gap in either
 //! direction. Pipes additionally must never reveal a failure to the
 //! writer (silent-drop semantics).
+//!
+//! Randomization is driven by the in-repo deterministic PRNG so the
+//! suite runs with zero network access.
 
 use laminar::{Laminar, RegionParams};
 use laminar_difc::{CapSet, Label, LabelType, SecPair};
 use laminar_os::{Kernel, LaminarModule, OpenMode, UserId};
-use proptest::prelude::*;
+use laminar_util::SplitMix64;
 
-/// A label over a 4-tag universe, as a bitmask strategy.
-fn mask_strategy() -> impl Strategy<Value = u8> {
-    0u8..16
+/// Cases per property (masks are sampled from the 4-tag universe).
+const CASES: usize = 48;
+
+/// A label over a 4-tag universe, as a random bitmask.
+fn random_mask(rng: &mut SplitMix64) -> u8 {
+    rng.below(16) as u8
 }
 
 fn label_from_mask(tags: &[laminar_difc::Tag], mask: u8) -> Label {
     Label::from_tags(
-        tags.iter()
-            .enumerate()
-            .filter(|(i, _)| mask & (1 << i) != 0)
-            .map(|(_, &t)| t),
+        tags.iter().enumerate().filter(|(i, _)| mask & (1 << i) != 0).map(|(_, &t)| t),
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// File opens succeed exactly when the model's flow relation allows
-    /// them (secrecy dimension; integrity on paths is covered by
-    /// scenario tests).
-    #[test]
-    fn file_access_matches_model(fmask in mask_strategy(), tmask in mask_strategy()) {
+/// File opens succeed exactly when the model's flow relation allows
+/// them (secrecy dimension; integrity on paths is covered by
+/// scenario tests).
+#[test]
+fn file_access_matches_model() {
+    let mut rng = SplitMix64::new(0x1EAF);
+    for _ in 0..CASES {
+        let (fmask, tmask) = (random_mask(&mut rng), random_mask(&mut rng));
         let k = Kernel::boot(LaminarModule);
         k.add_user(UserId(1), "u");
         let task = k.login(UserId(1)).unwrap();
@@ -49,18 +52,20 @@ proptest! {
 
         let model_read = fpair.flows_to(&tpair);
         let model_write = tpair.flows_to(&fpair);
-        prop_assert_eq!(task.open("/tmp/f", OpenMode::Read).is_ok(), model_read);
-        prop_assert_eq!(task.open("/tmp/f", OpenMode::Write).is_ok(), model_write);
+        assert_eq!(task.open("/tmp/f", OpenMode::Read).is_ok(), model_read);
+        assert_eq!(task.open("/tmp/f", OpenMode::Write).is_ok(), model_write);
     }
+}
 
-    /// Pipe delivery: a message arrives iff writer→pipe and pipe→reader
-    /// flows are both legal; the writer observes success regardless.
-    #[test]
-    fn pipe_delivery_matches_model(
-        wmask in mask_strategy(),
-        pmask in mask_strategy(),
-        rmask in mask_strategy(),
-    ) {
+/// Pipe delivery: a message arrives iff writer→pipe and pipe→reader
+/// flows are both legal; the writer observes success regardless.
+#[test]
+fn pipe_delivery_matches_model() {
+    let mut rng = SplitMix64::new(0x9199);
+    for _ in 0..CASES {
+        let wmask = random_mask(&mut rng);
+        let pmask = random_mask(&mut rng);
+        let rmask = random_mask(&mut rng);
         let k = Kernel::boot(LaminarModule);
         k.add_user(UserId(1), "u");
         let task = k.login(UserId(1)).unwrap();
@@ -76,7 +81,7 @@ proptest! {
 
         // Write under the writer's label: always reports success.
         task.set_task_label(LabelType::Secrecy, wl.clone()).unwrap();
-        prop_assert_eq!(task.write(w, b"m").unwrap(), 1);
+        assert_eq!(task.write(w, b"m").unwrap(), 1);
 
         // Read under the reader's label.
         task.set_task_label(LabelType::Secrecy, rl.clone()).unwrap();
@@ -87,22 +92,24 @@ proptest! {
         match task.read(r, 4) {
             Ok(data) => {
                 let readable = pp.flows_to(&rp);
-                prop_assert!(readable, "read succeeded though model forbids");
-                prop_assert_eq!(!data.is_empty(), deliverable);
+                assert!(readable, "read succeeded though model forbids");
+                assert_eq!(!data.is_empty(), deliverable);
             }
             Err(_) => {
-                prop_assert!(!pp.flows_to(&rp), "read denied though model allows");
+                assert!(!pp.flows_to(&rp), "read denied though model allows");
             }
         }
     }
+}
 
-    /// Heap barriers: inside a region with arbitrary labels, reads and
-    /// writes of an arbitrarily-labeled cell succeed exactly per model.
-    #[test]
-    fn labeled_cell_access_matches_model(
-        cell_s in mask_strategy(), cell_i in mask_strategy(),
-        reg_s in mask_strategy(), reg_i in mask_strategy(),
-    ) {
+/// Heap barriers: inside a region with arbitrary labels, reads and
+/// writes of an arbitrarily-labeled cell succeed exactly per model.
+#[test]
+fn labeled_cell_access_matches_model() {
+    let mut rng = SplitMix64::new(0xCE11);
+    for _ in 0..CASES {
+        let (cell_s, cell_i) = (random_mask(&mut rng), random_mask(&mut rng));
+        let (reg_s, reg_i) = (random_mask(&mut rng), random_mask(&mut rng));
         let sys = Laminar::boot();
         sys.add_user(UserId(1), "u");
         let p = sys.login(UserId(1)).unwrap();
@@ -112,47 +119,38 @@ proptest! {
             all_caps.grant_both(t);
         }
 
-        let cell_pair = SecPair::new(
-            label_from_mask(&tags, cell_s),
-            label_from_mask(&tags, cell_i),
-        );
-        let reg_pair = SecPair::new(
-            label_from_mask(&tags, reg_s),
-            label_from_mask(&tags, reg_i),
-        );
+        let cell_pair =
+            SecPair::new(label_from_mask(&tags, cell_s), label_from_mask(&tags, cell_i));
+        let reg_pair =
+            SecPair::new(label_from_mask(&tags, reg_s), label_from_mask(&tags, reg_i));
 
         // Mint the cell inside a region with exactly its labels.
         let mint = RegionParams::new()
             .secrecy(cell_pair.secrecy().clone())
             .integrity(cell_pair.integrity().clone())
             .grant_all(&all_caps);
-        let cell = p
-            .secure(&mint, |g| Ok(g.new_labeled(1u8)), |_| {})
-            .unwrap()
-            .unwrap();
+        let cell = p.secure(&mint, |g| Ok(g.new_labeled(1u8)), |_| {}).unwrap().unwrap();
 
         let params = RegionParams::new()
             .secrecy(reg_pair.secrecy().clone())
             .integrity(reg_pair.integrity().clone())
             .grant_all(&all_caps);
-        let read_ok = p
-            .secure(&params, |g| cell.read(g, |v| *v), |_| {})
-            .unwrap()
-            .is_some();
-        let write_ok = p
-            .secure(&params, |g| cell.write(g, |v| *v = 2), |_| {})
-            .unwrap()
-            .is_some();
+        let read_ok =
+            p.secure(&params, |g| cell.read(g, |v| *v), |_| {}).unwrap().is_some();
+        let write_ok =
+            p.secure(&params, |g| cell.write(g, |v| *v = 2), |_| {}).unwrap().is_some();
 
-        prop_assert_eq!(read_ok, cell_pair.flows_to(&reg_pair));
-        prop_assert_eq!(write_ok, reg_pair.flows_to(&cell_pair));
+        assert_eq!(read_ok, cell_pair.flows_to(&reg_pair));
+        assert_eq!(write_ok, reg_pair.flows_to(&cell_pair));
     }
+}
 
-    /// Dynamic barriers agree with static barriers on every label pair.
-    #[test]
-    fn dynamic_and_static_barriers_agree(
-        cell_s in mask_strategy(), reg_s in mask_strategy(),
-    ) {
+/// Dynamic barriers agree with static barriers on every label pair.
+#[test]
+fn dynamic_and_static_barriers_agree() {
+    let mut rng = SplitMix64::new(0xD1A);
+    for _ in 0..CASES {
+        let (cell_s, reg_s) = (random_mask(&mut rng), random_mask(&mut rng));
         let sys = Laminar::boot();
         sys.add_user(UserId(1), "u");
         let p = sys.login(UserId(1)).unwrap();
@@ -165,10 +163,7 @@ proptest! {
         let mint = RegionParams::new()
             .secrecy(label_from_mask(&tags, cell_s))
             .grant_all(&all_caps);
-        let cell = p
-            .secure(&mint, |g| Ok(g.new_labeled(0i32)), |_| {})
-            .unwrap()
-            .unwrap();
+        let cell = p.secure(&mint, |g| Ok(g.new_labeled(0i32)), |_| {}).unwrap().unwrap();
 
         let params = RegionParams::new()
             .secrecy(label_from_mask(&tags, reg_s))
@@ -185,6 +180,6 @@ proptest! {
             )
             .unwrap()
             .unwrap();
-        prop_assert_eq!(static_ok, dynamic_ok);
+        assert_eq!(static_ok, dynamic_ok);
     }
 }

@@ -3,9 +3,7 @@
 //! signals, capability transfer, persistence).
 
 use laminar_difc::{CapSet, Capability, Label, LabelType, SecPair};
-use laminar_os::{
-    Kernel, LaminarModule, NullModule, OpenMode, OsError, Signal, UserId,
-};
+use laminar_os::{Kernel, LaminarModule, NullModule, OpenMode, OsError, Signal, UserId};
 
 fn boot_alice() -> (std::sync::Arc<Kernel>, laminar_os::TaskHandle) {
     let k = Kernel::boot(LaminarModule);
@@ -25,10 +23,7 @@ fn labeled_file_round_trip_requires_taint() {
     alice.close(fd).unwrap();
 
     // Unlabeled task: open for read denied (no read up).
-    assert!(matches!(
-        alice.open("cal.ics", OpenMode::Read),
-        Err(OsError::FlowDenied(_))
-    ));
+    assert!(matches!(alice.open("cal.ics", OpenMode::Read), Err(OsError::FlowDenied(_))));
 
     // Taint, then read succeeds.
     alice.set_task_label(LabelType::Secrecy, Label::singleton(a)).unwrap();
@@ -38,7 +33,7 @@ fn labeled_file_round_trip_requires_taint() {
 
     // Tainted task cannot write an unlabeled file (no write down).
     assert!(alice.create("/tmp/leak.txt").is_err()); // creation in unlabeled /tmp
-    // Untaint with a- and it works again.
+                                                     // Untaint with a- and it works again.
     alice.set_task_label(LabelType::Secrecy, Label::empty()).unwrap();
     let fd = alice.create("/tmp/ok.txt").unwrap();
     alice.close(fd).unwrap();
@@ -269,12 +264,8 @@ fn tcb_paths_are_locked_down() {
         alice.drop_label_tcb(alice.id()),
         Err(OsError::PermissionDenied(_))
     ));
-    assert!(alice
-        .set_task_labels_tcb(alice.id(), SecPair::unlabeled())
-        .is_err());
-    assert!(alice
-        .grant_capabilities_tcb(alice.id(), &CapSet::new())
-        .is_err());
+    assert!(alice.set_task_labels_tcb(alice.id(), SecPair::unlabeled()).is_err());
+    assert!(alice.grant_capabilities_tcb(alice.id(), &CapSet::new()).is_err());
 }
 
 #[test]

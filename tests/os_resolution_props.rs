@@ -1,15 +1,24 @@
 //! Property tests for path resolution under the Laminar LSM: traversal
 //! mediation is consistent, symlink following is equivalent to direct
 //! access, and labels discovered via `get_labels` always match `stat`.
+//!
+//! Randomization is driven by the in-repo deterministic PRNG so the
+//! suite runs with zero network access.
 
 use laminar_difc::{Label, LabelType, SecPair};
 use laminar_os::{Kernel, LaminarModule, OpenMode, UserId};
-use proptest::prelude::*;
+use laminar_util::SplitMix64;
 
 /// A small random directory tree description: a list of (depth ≤ 3)
 /// paths to create under /tmp.
-fn tree_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
-    prop::collection::vec(prop::collection::vec(0u8..3, 1..4), 1..8)
+fn random_tree(rng: &mut SplitMix64) -> Vec<Vec<u8>> {
+    let entries = rng.gen_range(1..8);
+    (0..entries)
+        .map(|_| {
+            let depth = rng.gen_range(1..4);
+            (0..depth).map(|_| rng.below(3) as u8).collect()
+        })
+        .collect()
 }
 
 fn path_of(parts: &[u8]) -> String {
@@ -20,15 +29,15 @@ fn path_of(parts: &[u8]) -> String {
     p
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Creating a random unlabeled tree, every created path stats as a
-    /// directory, and every file dropped into it round-trips — i.e.
-    /// resolution is deterministic and mediation of unlabeled trees
-    /// never interferes.
-    #[test]
-    fn unlabeled_trees_resolve_deterministically(tree in tree_strategy()) {
+/// Creating a random unlabeled tree, every created path stats as a
+/// directory, and every file dropped into it round-trips — i.e.
+/// resolution is deterministic and mediation of unlabeled trees
+/// never interferes.
+#[test]
+fn unlabeled_trees_resolve_deterministically() {
+    let mut rng = SplitMix64::new(0x0511);
+    for _ in 0..24 {
+        let tree = random_tree(&mut rng);
         let k = Kernel::boot(LaminarModule);
         k.add_user(UserId(1), "u");
         let t = k.login(UserId(1)).unwrap();
@@ -40,12 +49,12 @@ proptest! {
                 match t.mkdir(&p) {
                     Ok(()) => created.push(p),
                     Err(laminar_os::OsError::Exists) => {}
-                    Err(e) => return Err(TestCaseError::fail(format!("mkdir {p}: {e}"))),
+                    Err(e) => panic!("mkdir {p}: {e}"),
                 }
             }
         }
         for p in &created {
-            prop_assert!(t.stat(p).unwrap().is_dir);
+            assert!(t.stat(p).unwrap().is_dir);
         }
         // Drop a file at the deepest path of the first entry.
         let dir = path_of(&tree[0]);
@@ -54,57 +63,73 @@ proptest! {
         t.write(fd, b"x").unwrap();
         t.close(fd).unwrap();
         let fd = t.open(&f, OpenMode::Read).unwrap();
-        prop_assert_eq!(t.read(fd, 4).unwrap(), b"x");
+        assert_eq!(t.read(fd, 4).unwrap(), b"x");
     }
+}
 
-    /// A symlink to a file behaves exactly like the file for open/stat,
-    /// for arbitrary (secrecy-only) file labels: the *link* adds no
-    /// access beyond what direct access grants.
-    #[test]
-    fn symlink_equivalent_to_direct_access(fmask in 0u8..8, tmask in 0u8..8) {
-        let k = Kernel::boot(LaminarModule);
-        k.add_user(UserId(1), "u");
-        let task = k.login(UserId(1)).unwrap();
-        let tags: Vec<_> = (0..3).map(|_| task.alloc_tag().unwrap()).collect();
-        let lbl = |mask: u8| Label::from_tags(
-            tags.iter().enumerate().filter(|(i, _)| mask & (1 << i) != 0).map(|(_, &t)| t));
+/// A symlink to a file behaves exactly like the file for open/stat,
+/// for arbitrary (secrecy-only) file labels: the *link* adds no
+/// access beyond what direct access grants.
+#[test]
+fn symlink_equivalent_to_direct_access() {
+    for fmask in 0u8..8 {
+        for tmask in 0u8..8 {
+            let k = Kernel::boot(LaminarModule);
+            k.add_user(UserId(1), "u");
+            let task = k.login(UserId(1)).unwrap();
+            let tags: Vec<_> = (0..3).map(|_| task.alloc_tag().unwrap()).collect();
+            let lbl = |mask: u8| {
+                Label::from_tags(
+                    tags.iter()
+                        .enumerate()
+                        .filter(|(i, _)| mask & (1 << i) != 0)
+                        .map(|(_, &t)| t),
+                )
+            };
 
-        let fpair = SecPair::secrecy_only(lbl(fmask));
-        let fd = task.create_file_labeled("/tmp/target", fpair).unwrap();
-        task.close(fd).unwrap();
-        task.symlink("/tmp/target", "/tmp/link").unwrap();
+            let fpair = SecPair::secrecy_only(lbl(fmask));
+            let fd = task.create_file_labeled("/tmp/target", fpair).unwrap();
+            task.close(fd).unwrap();
+            task.symlink("/tmp/target", "/tmp/link").unwrap();
 
-        task.set_task_label(LabelType::Secrecy, lbl(tmask)).unwrap();
-        let direct = task.open("/tmp/target", OpenMode::Read).is_ok();
-        let via_link = task.open("/tmp/link", OpenMode::Read).is_ok();
-        prop_assert_eq!(direct, via_link);
+            task.set_task_label(LabelType::Secrecy, lbl(tmask)).unwrap();
+            let direct = task.open("/tmp/target", OpenMode::Read).is_ok();
+            let via_link = task.open("/tmp/link", OpenMode::Read).is_ok();
+            assert_eq!(direct, via_link);
 
-        let direct_stat = task.stat("/tmp/target").map(|m| m.inode);
-        let link_stat = task.stat("/tmp/link").map(|m| m.inode);
-        prop_assert_eq!(direct_stat.is_ok(), link_stat.is_ok());
-        if let (Ok(a), Ok(b)) = (direct_stat, link_stat) {
-            prop_assert_eq!(a, b);
+            let direct_stat = task.stat("/tmp/target").map(|m| m.inode);
+            let link_stat = task.stat("/tmp/link").map(|m| m.inode);
+            assert_eq!(direct_stat.is_ok(), link_stat.is_ok());
+            if let (Ok(a), Ok(b)) = (direct_stat, link_stat) {
+                assert_eq!(a, b);
+            }
         }
     }
+}
 
-    /// `get_labels` (parent-mediated) and `stat` (inode-mediated) agree
-    /// on the labels whenever both succeed.
-    #[test]
-    fn get_labels_agrees_with_stat(fmask in 0u8..8) {
+/// `get_labels` (parent-mediated) and `stat` (inode-mediated) agree
+/// on the labels whenever both succeed.
+#[test]
+fn get_labels_agrees_with_stat() {
+    for fmask in 0u8..8 {
         let k = Kernel::boot(LaminarModule);
         k.add_user(UserId(1), "u");
         let task = k.login(UserId(1)).unwrap();
         let tags: Vec<_> = (0..3).map(|_| task.alloc_tag().unwrap()).collect();
         let label = Label::from_tags(
-            tags.iter().enumerate().filter(|(i, _)| fmask & (1 << i) != 0).map(|(_, &t)| t));
+            tags.iter()
+                .enumerate()
+                .filter(|(i, _)| fmask & (1 << i) != 0)
+                .map(|(_, &t)| t),
+        );
         let pair = SecPair::secrecy_only(label.clone());
         let fd = task.create_file_labeled("/tmp/f", pair.clone()).unwrap();
         task.close(fd).unwrap();
 
         // get_labels needs only traversal; it must report the real labels.
-        prop_assert_eq!(task.get_labels("/tmp/f").unwrap(), pair.clone());
+        assert_eq!(task.get_labels("/tmp/f").unwrap(), pair.clone());
         // stat succeeds only when tainted appropriately — and then agrees.
         task.set_task_label(LabelType::Secrecy, label).unwrap();
-        prop_assert_eq!(task.stat("/tmp/f").unwrap().labels, pair);
+        assert_eq!(task.stat("/tmp/f").unwrap().labels, pair);
     }
 }

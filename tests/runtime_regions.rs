@@ -27,9 +27,8 @@ fn entry_rule_1_needs_capability_or_label() {
     let (_sys, p) = alice();
     let t = p.create_tag().unwrap();
     // With t+ entry succeeds.
-    let params = RegionParams::new()
-        .secrecy(Label::singleton(t))
-        .grant(Capability::plus(t));
+    let params =
+        RegionParams::new().secrecy(Label::singleton(t)).grant(Capability::plus(t));
     assert!(p.secure(&params, |_| Ok(()), |_| {}).is_ok());
 
     // A principal without the capability cannot enter.
@@ -93,19 +92,13 @@ fn nested_regions_restore_the_outer_context() {
             g.secure(
                 &inner,
                 |g2| {
-                    assert_eq!(
-                        g2.current_label(LabelType::Secrecy),
-                        Label::singleton(b)
-                    );
+                    assert_eq!(g2.current_label(LabelType::Secrecy), Label::singleton(b));
                     Ok(())
                 },
                 |_| {},
             )?;
             // Outer context restored.
-            assert_eq!(
-                g.current_label(LabelType::Secrecy),
-                Label::from_tags([a, b])
-            );
+            assert_eq!(g.current_label(LabelType::Secrecy), Label::from_tags([a, b]));
             Ok(())
         },
         |_| {},
@@ -123,13 +116,10 @@ fn figure5_implicit_flow_is_confined() {
     let h = p.create_tag().unwrap();
 
     for h_value in [false, true] {
-        let params = RegionParams::new()
-            .secrecy(Label::singleton(h))
-            .grant(Capability::plus(h));
-        let h_cell = p
-            .secure(&params, |g| Ok(g.new_labeled(h_value)), |_| {})
-            .unwrap()
-            .unwrap();
+        let params =
+            RegionParams::new().secrecy(Label::singleton(h)).grant(Capability::plus(h));
+        let h_cell =
+            p.secure(&params, |g| Ok(g.new_labeled(h_value)), |_| {}).unwrap().unwrap();
         let l_cell = Labeled::unlabeled(false);
         let mut catch_ran = false;
 
@@ -150,7 +140,7 @@ fn figure5_implicit_flow_is_confined() {
             .unwrap();
 
         // L is untouched either way: no bit of H escaped.
-        assert_eq!(l_cell.read_dyn(|v| *v).unwrap(), false);
+        assert!(!l_cell.read_dyn(|v| *v).unwrap());
         // Whether the catch ran equals h_value — but that fact is only
         // visible to *this test* (the TCB); region code cannot export it.
         assert_eq!(catch_ran, h_value);
@@ -162,19 +152,12 @@ fn figure5_implicit_flow_is_confined() {
 fn panics_inside_regions_are_confined() {
     let (_sys, p) = alice();
     let out = p
-        .secure::<()>(
-            &RegionParams::new(),
-            |_| panic!("runtime exception"),
-            |_| {},
-        )
+        .secure::<()>(&RegionParams::new(), |_| panic!("runtime exception"), |_| {})
         .unwrap();
     assert!(out.is_none());
     // The principal is fully usable afterwards.
     assert!(!p.in_region());
-    assert_eq!(
-        p.secure(&RegionParams::new(), |_| Ok(7), |_| {}).unwrap(),
-        Some(7)
-    );
+    assert_eq!(p.secure(&RegionParams::new(), |_| Ok(7), |_| {}).unwrap(), Some(7));
 }
 
 #[test]
@@ -195,10 +178,8 @@ fn catch_block_panics_are_also_confined() {
 fn static_barriers_check_labels() {
     let (_sys, p) = alice();
     let t = p.create_tag().unwrap();
-    let cell = p
-        .secure(&tagged_params(t), |g| Ok(g.new_labeled(41)), |_| {})
-        .unwrap()
-        .unwrap();
+    let cell =
+        p.secure(&tagged_params(t), |g| Ok(g.new_labeled(41)), |_| {}).unwrap().unwrap();
 
     // Region carrying the label reads/writes fine.
     let v = p
@@ -214,9 +195,7 @@ fn static_barriers_check_labels() {
     assert_eq!(v, Some(42));
 
     // An unlabeled region cannot read it (suppressed).
-    let out = p
-        .secure(&RegionParams::new(), |g| cell.read(g, |v| *v), |_| {})
-        .unwrap();
+    let out = p.secure(&RegionParams::new(), |g| cell.read(g, |v| *v), |_| {}).unwrap();
     assert!(out.is_none());
 }
 
@@ -224,20 +203,13 @@ fn static_barriers_check_labels() {
 fn dynamic_barriers_find_the_context_at_runtime() {
     let (_sys, p) = alice();
     let t = p.create_tag().unwrap();
-    let cell = p
-        .secure(&tagged_params(t), |g| Ok(g.new_labeled(5)), |_| {})
-        .unwrap()
-        .unwrap();
+    let cell =
+        p.secure(&tagged_params(t), |g| Ok(g.new_labeled(5)), |_| {}).unwrap().unwrap();
 
     // Outside any region: denied.
-    assert!(matches!(
-        cell.read_dyn(|v| *v),
-        Err(LaminarError::NotInRegion)
-    ));
+    assert!(matches!(cell.read_dyn(|v| *v), Err(LaminarError::NotInRegion)));
     // Inside the right region: allowed, via the same call.
-    let v = p
-        .secure(&tagged_params(t), |_| cell.read_dyn(|v| *v), |_| {})
-        .unwrap();
+    let v = p.secure(&tagged_params(t), |_| cell.read_dyn(|v| *v), |_| {}).unwrap();
     assert_eq!(v, Some(5));
     assert!(p.stats().dynamic_dispatches > 0);
 }
@@ -247,16 +219,13 @@ fn integrity_regions_cannot_read_unendorsed_data() {
     let (_sys, p) = alice();
     let i = p.create_tag().unwrap();
     let plain = Labeled::unlabeled(1);
-    let params = RegionParams::new()
-        .integrity(Label::singleton(i))
-        .grant(Capability::plus(i));
+    let params =
+        RegionParams::new().integrity(Label::singleton(i)).grant(Capability::plus(i));
     // Reading unendorsed data from a high-integrity region: suppressed.
     let out = p.secure(&params, |g| plain.read(g, |v| *v), |_| {}).unwrap();
     assert!(out.is_none());
     // Writing down is fine.
-    let out = p
-        .secure(&params, |g| plain.write(g, |v| *v = 2), |_| {})
-        .unwrap();
+    let out = p.secure(&params, |g| plain.write(g, |v| *v = 2), |_| {}).unwrap();
     assert_eq!(out, Some(()));
 }
 
@@ -264,16 +233,13 @@ fn integrity_regions_cannot_read_unendorsed_data() {
 fn copy_and_label_requires_capabilities() {
     let (_sys, p) = alice();
     let t = p.create_tag().unwrap();
-    let cell = p
-        .secure(&tagged_params(t), |g| Ok(g.new_labeled(9)), |_| {})
-        .unwrap()
-        .unwrap();
+    let cell =
+        p.secure(&tagged_params(t), |g| Ok(g.new_labeled(9)), |_| {}).unwrap().unwrap();
 
     // Without t-: declassification is rejected inside the region
     // (suppressed at the boundary).
-    let no_minus = RegionParams::new()
-        .secrecy(Label::singleton(t))
-        .grant(Capability::plus(t));
+    let no_minus =
+        RegionParams::new().secrecy(Label::singleton(t)).grant(Capability::plus(t));
     let out = p
         .secure(
             &no_minus,
@@ -339,11 +305,7 @@ fn scoped_capability_drop_is_restored_global_is_not() {
 fn capabilities_gained_in_regions_persist_after_exit() {
     let (_sys, p) = alice();
     let gained = p
-        .secure(
-            &RegionParams::new(),
-            |g| g.create_and_add_capability(),
-            |_| {},
-        )
+        .secure(&RegionParams::new(), |g| g.create_and_add_capability(), |_| {})
         .unwrap()
         .unwrap();
     // §4.4: "By default, a thread that gains a capability within a
@@ -427,8 +389,7 @@ fn heterogeneous_thread_labels_in_one_process() {
         .unwrap()
     });
     let hb = std::thread::spawn(move || {
-        pb.secure(&tagged_params(b), |g| cell_b.read(g, |v| *v), |_| {})
-            .unwrap()
+        pb.secure(&tagged_params(b), |g| cell_b.read(g, |v| *v), |_| {}).unwrap()
     });
     assert_eq!(ha.join().unwrap(), Some(1));
     assert_eq!(hb.join().unwrap(), Some(2));

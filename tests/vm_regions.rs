@@ -5,9 +5,7 @@
 use laminar::KernelBridge;
 use laminar_difc::{CapKind, CapSet, Capability, Label, SecPair, Tag};
 use laminar_os::{Kernel, LaminarModule, OpenMode, UserId};
-use laminar_vm::{
-    BarrierMode, ClassId, ProgramBuilder, Value, Vm, VmError,
-};
+use laminar_vm::{BarrierMode, ClassId, ProgramBuilder, Value, Vm, VmError};
 
 fn fresh_tag(n: u64) -> Tag {
     Tag::from_raw(n)
@@ -160,11 +158,8 @@ fn figure7_two_students() {
         b.put_field(0);
         b.ret();
     });
-    let inner_spec = pb.add_region_spec(
-        pair_empty,
-        &[(0, CapKind::Minus), (1, CapKind::Minus)],
-        None,
-    );
+    let inner_spec =
+        pb.add_region_spec(pair_empty, &[(0, CapKind::Minus), (1, CapKind::Minus)], None);
 
     let pair_s12 = pb.add_pair_spec(&[0, 1], &[]);
     let outer = pb.region("sum", 3, 4, |b| {
@@ -210,8 +205,7 @@ fn figure7_two_students() {
     vm.host_put_field(m2, 0, Value::Int(12)).unwrap();
     let ret = vm.host_alloc_object(ClassId(0), None).unwrap();
 
-    vm.call_by_name("main", &[Value::Ref(m1), Value::Ref(m2), Value::Ref(ret)])
-        .unwrap();
+    vm.call_by_name("main", &[Value::Ref(m1), Value::Ref(m2), Value::Ref(ret)]).unwrap();
     assert_eq!(vm.host_get_field(ret, 0).unwrap(), Value::Int(42));
 }
 
@@ -423,8 +417,7 @@ fn lazy_label_sync_through_kernel_bridge() {
     // Region writing the labeled file: sync happens, write lands.
     vm.call_by_name("run_write", &[]).unwrap();
     assert_eq!(vm.stats().os_label_syncs, 1);
-    task.set_task_label(laminar_difc::LabelType::Secrecy, Label::singleton(a))
-        .unwrap();
+    task.set_task_label(laminar_difc::LabelType::Secrecy, Label::singleton(a)).unwrap();
     let fd = task.open("secret.out", OpenMode::Read).unwrap();
     assert_eq!(task.read(fd, 4).unwrap(), vec![42]);
     task.close(fd).unwrap();
