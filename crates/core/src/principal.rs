@@ -147,6 +147,49 @@ impl RegionParams {
     }
 }
 
+/// Checks the security-region entry rules of §4.3.2 for a thread with
+/// the given `labels` and `caps` against `params`, without entering:
+///
+/// 1. `SR ⊆ (Cp+ ∪ SP)` and `IR ⊆ (Cp+ ∪ IP)` — each region tag is
+///    either already carried or addable;
+/// 2. `CR ⊆ CP` — the region's capabilities are a subset of the
+///    thread's.
+///
+/// [`Principal::secure`] runs exactly this check before swapping in the
+/// region's context; it is public so the model-based conformance
+/// testkit can replay region-entry events against its reference oracle.
+///
+/// # Errors
+/// [`LaminarError::RegionEntry`] naming the violated rule.
+pub fn check_region_entry(
+    labels: &SecPair,
+    caps: &CapSet,
+    params: &RegionParams,
+) -> LaminarResult<()> {
+    // Rule (1) of §4.3.2: SR ⊆ (Cp+ ∪ SP) and IR ⊆ (Cp+ ∪ IP).
+    for t in params.secrecy.iter() {
+        if !caps.can_add(t) && !labels.secrecy().contains(t) {
+            return Err(LaminarError::RegionEntry(
+                "thread lacks capability or label for a region secrecy tag",
+            ));
+        }
+    }
+    for t in params.integrity.iter() {
+        if !caps.can_add(t) && !labels.integrity().contains(t) {
+            return Err(LaminarError::RegionEntry(
+                "thread lacks capability or label for a region integrity tag",
+            ));
+        }
+    }
+    // Rule (2): CR ⊆ CP.
+    if !params.caps.is_subset_of(caps) {
+        return Err(LaminarError::RegionEntry(
+            "region capabilities exceed the entering thread's",
+        ));
+    }
+    Ok(())
+}
+
 /// A kernel-thread principal bound to the Laminar runtime.
 ///
 /// Obtained from [`crate::Laminar::login`] (or
@@ -286,27 +329,7 @@ impl Principal {
 
     fn enter_region(&self, params: &RegionParams) -> LaminarResult<()> {
         let mut st = self.state.lock();
-        // Rule (1) of §4.3.2: SR ⊆ (Cp+ ∪ SP) and IR ⊆ (Cp+ ∪ IP).
-        for t in params.pair().secrecy().iter() {
-            if !st.caps.can_add(t) && !st.labels.secrecy().contains(t) {
-                return Err(LaminarError::RegionEntry(
-                    "thread lacks capability or label for a region secrecy tag",
-                ));
-            }
-        }
-        for t in params.pair().integrity().iter() {
-            if !st.caps.can_add(t) && !st.labels.integrity().contains(t) {
-                return Err(LaminarError::RegionEntry(
-                    "thread lacks capability or label for a region integrity tag",
-                ));
-            }
-        }
-        // Rule (2): CR ⊆ CP.
-        if !params.caps.is_subset_of(&st.caps) {
-            return Err(LaminarError::RegionEntry(
-                "region capabilities exceed the entering thread's",
-            ));
-        }
+        check_region_entry(&st.labels, &st.caps, params)?;
         let saved_labels = std::mem::replace(&mut st.labels, params.pair());
         let saved_caps = std::mem::replace(&mut st.caps, params.caps.clone());
         st.frames.push(Frame { saved_labels, saved_caps, suspended: CapSet::new() });

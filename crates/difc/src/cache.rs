@@ -52,7 +52,56 @@ static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 static INSERTS: AtomicU64 = AtomicU64::new(0);
 static FAST_HITS: AtomicU64 = AtomicU64::new(0);
-static EVICTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Test-only fault hooks for the conformance testkit.
+///
+/// Laminar's correctness argument for the memo cache is that it is
+/// *semantically invisible*: every verdict must be bit-identical with
+/// the cache disabled, thrashing, or mid-eviction. These hooks let the
+/// testkit force each of those regimes without changing the enforcement
+/// code under test. The default mode ([`fault::FaultMode::None`]) takes
+/// none of the fault branches, so merely compiling the feature in does
+/// not perturb behaviour.
+#[cfg(feature = "fault-injection")]
+pub mod fault {
+    use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+    /// Which cache fault regime is armed, process-wide.
+    #[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+    pub enum FaultMode {
+        /// No fault: normal cache behaviour.
+        #[default]
+        None,
+        /// Every probe misses and recomputes; nothing is inserted. The
+        /// cache is effectively disabled.
+        ForceMiss,
+        /// Every insert is preceded by a whole-shard eviction, so the
+        /// cache permanently thrashes at size ≤ 1.
+        EvictionStorm,
+        /// Periodically clears *all* shards mid-run (an adversarial
+        /// epoch boundary on every 32nd insert).
+        EpochChurn,
+    }
+
+    static MODE: AtomicU8 = AtomicU8::new(0);
+    pub(super) static CHURN_TICK: AtomicU64 = AtomicU64::new(0);
+
+    /// Arms a fault mode for every subsequent cache probe.
+    pub fn set_fault_mode(mode: FaultMode) {
+        MODE.store(mode as u8, Ordering::SeqCst);
+    }
+
+    /// The currently armed fault mode.
+    #[must_use]
+    pub fn fault_mode() -> FaultMode {
+        match MODE.load(Ordering::SeqCst) {
+            1 => FaultMode::ForceMiss,
+            2 => FaultMode::EvictionStorm,
+            3 => FaultMode::EpochChurn,
+            _ => FaultMode::None,
+        }
+    }
+}
 
 /// A single-round SplitMix64-style hasher for the cache maps. The keys
 /// are already well-distributed 64-bit id packs, so the default
@@ -106,13 +155,36 @@ impl std::hash::BuildHasher for KeyHashBuilder {
     }
 }
 
-type Shard = Mutex<HashMap<(u64, CheckKind), bool, KeyHashBuilder>>;
+/// One cache shard: the memo map plus its own eviction counters.
+///
+/// Eviction is a *per-shard* event (one shard clearing says nothing
+/// about the other fifteen), so the counters live here and
+/// [`flow_cache_stats`] sums them into the aggregate — a global atomic
+/// would conflate shards and, worse, could not be reset coherently with
+/// the maps it describes.
+#[derive(Default)]
+struct ShardState {
+    map: HashMap<(u64, CheckKind), bool, KeyHashBuilder>,
+    /// Whole-shard clears this shard has performed.
+    evictions: u64,
+    /// Entries discarded across all of this shard's clears.
+    evicted_entries: u64,
+}
+
+impl ShardState {
+    /// Clears the shard, recording the eviction in its counters.
+    fn evict(&mut self) {
+        self.evicted_entries += self.map.len() as u64;
+        self.map.clear();
+        self.evictions += 1;
+    }
+}
+
+type Shard = Mutex<ShardState>;
 
 fn shards() -> &'static Vec<Shard> {
     static CACHE: OnceLock<Vec<Shard>> = OnceLock::new();
-    CACHE.get_or_init(|| {
-        (0..SHARDS).map(|_| Mutex::new(HashMap::with_hasher(KeyHashBuilder))).collect()
-    })
+    CACHE.get_or_init(|| (0..SHARDS).map(|_| Mutex::new(ShardState::default())).collect())
 }
 
 fn key(a: u32, b: u32) -> u64 {
@@ -127,8 +199,14 @@ fn shard_for(k: u64) -> &'static Shard {
 /// One cache probe: returns the memoized verdict or computes, records
 /// and returns it.
 fn probe(k: u64, kind: CheckKind, compute: impl FnOnce() -> bool) -> bool {
+    #[cfg(feature = "fault-injection")]
+    if fault::fault_mode() == fault::FaultMode::ForceMiss {
+        MISSES.fetch_add(1, Ordering::Relaxed);
+        return compute();
+    }
     let shard = shard_for(k);
-    if let Some(&v) = shard.lock().unwrap_or_else(PoisonError::into_inner).get(&(k, kind))
+    if let Some(&v) =
+        shard.lock().unwrap_or_else(PoisonError::into_inner).map.get(&(k, kind))
     {
         HITS.fetch_add(1, Ordering::Relaxed);
         return v;
@@ -137,12 +215,25 @@ fn probe(k: u64, kind: CheckKind, compute: impl FnOnce() -> bool) -> bool {
     // Compute outside the lock: subset math is cheap, and a Flow miss
     // recursively probes Subset entries in other shards.
     let v = compute();
-    let mut map = shard.lock().unwrap_or_else(PoisonError::into_inner);
-    if map.len() >= MAX_SHARD_ENTRIES {
-        map.clear();
-        EVICTIONS.fetch_add(1, Ordering::Relaxed);
+    #[cfg(feature = "fault-injection")]
+    match fault::fault_mode() {
+        fault::FaultMode::EvictionStorm => {
+            shard.lock().unwrap_or_else(PoisonError::into_inner).evict();
+        }
+        fault::FaultMode::EpochChurn
+            if fault::CHURN_TICK.fetch_add(1, Ordering::Relaxed) % 32 == 31 =>
+        {
+            for s in shards() {
+                s.lock().unwrap_or_else(PoisonError::into_inner).evict();
+            }
+        }
+        _ => {}
     }
-    map.insert((k, kind), v);
+    let mut st = shard.lock().unwrap_or_else(PoisonError::into_inner);
+    if st.map.len() >= MAX_SHARD_ENTRIES {
+        st.evict();
+    }
+    st.map.insert((k, kind), v);
     INSERTS.fetch_add(1, Ordering::Relaxed);
     v
 }
@@ -196,8 +287,13 @@ pub struct FlowCacheStats {
     /// Checks answered by the inline fast paths (empty/id-equal), never
     /// touching a lock.
     pub fast_hits: u64,
-    /// Shard-clear evictions (epoch resets under memory pressure).
+    /// Shard-clear evictions, summed over all shards (each shard counts
+    /// its own clears; a single shard clearing is not a whole-cache
+    /// epoch).
     pub evictions: u64,
+    /// Memoized entries discarded by those evictions, summed over all
+    /// shards.
+    pub evicted_entries: u64,
     /// Entries currently resident across all shards.
     pub entries: usize,
 }
@@ -217,36 +313,49 @@ impl FlowCacheStats {
     }
 }
 
-/// Snapshots the global cache counters.
+/// Snapshots the global cache counters. The eviction figures are the
+/// per-shard counters summed into a whole-cache aggregate (re-exported
+/// through `laminar::stats` for tests and benchmarks).
 #[must_use]
 pub fn flow_cache_stats() -> FlowCacheStats {
+    let mut evictions = 0;
+    let mut evicted_entries = 0;
+    let mut entries = 0;
+    for s in shards() {
+        let st = s.lock().unwrap_or_else(PoisonError::into_inner);
+        evictions += st.evictions;
+        evicted_entries += st.evicted_entries;
+        entries += st.map.len();
+    }
     FlowCacheStats {
         hits: HITS.load(Ordering::Relaxed),
         misses: MISSES.load(Ordering::Relaxed),
         inserts: INSERTS.load(Ordering::Relaxed),
         fast_hits: FAST_HITS.load(Ordering::Relaxed),
-        evictions: EVICTIONS.load(Ordering::Relaxed),
-        entries: shards()
-            .iter()
-            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len())
-            .sum(),
+        evictions,
+        evicted_entries,
+        entries,
     }
 }
 
-/// Clears the memo table and zeroes the counters.
+/// Clears the memo table and zeroes every counter, including the
+/// per-shard eviction counters, so consecutive test runs start from an
+/// identical baseline.
 ///
 /// Intended for benchmarks and tests that measure hit rates; safe (if
 /// noisy for concurrent measurements) at any time, since entries are
 /// pure memoizations and will simply be recomputed.
 pub fn reset_flow_cache() {
     for s in shards() {
-        s.lock().unwrap_or_else(PoisonError::into_inner).clear();
+        let mut st = s.lock().unwrap_or_else(PoisonError::into_inner);
+        st.map.clear();
+        st.evictions = 0;
+        st.evicted_entries = 0;
     }
     HITS.store(0, Ordering::Relaxed);
     MISSES.store(0, Ordering::Relaxed);
     INSERTS.store(0, Ordering::Relaxed);
     FAST_HITS.store(0, Ordering::Relaxed);
-    EVICTIONS.store(0, Ordering::Relaxed);
 }
 
 #[cfg(test)]

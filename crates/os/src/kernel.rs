@@ -284,6 +284,43 @@ impl Kernel {
         Ok((cur, (*last).to_string()))
     }
 
+    /// Conformance/test inspection: resolves an *absolute* `path` with
+    /// **no security checks** and returns the inode's labels plus its
+    /// contents (`None` for non-files). The model-based testkit uses
+    /// this to diff kernel state against its reference oracle without
+    /// perturbing hook counters or cache statistics; it is not part of
+    /// the paper's API (exposing it to untrusted code would be a
+    /// channel).
+    ///
+    /// # Errors
+    /// [`OsError::NotFound`] if the path names no inode;
+    /// [`OsError::InvalidArgument`] for relative paths.
+    pub fn inspect_node_for_test(
+        self: &Arc<Self>,
+        path: &str,
+    ) -> OsResult<(SecPair, Option<Vec<u8>>)> {
+        let st = self.state.lock();
+        let (parent, name) = Self::admin_resolve(&st, path)?;
+        let id = match &st.inodes.get(&parent).ok_or(OsError::NotFound)?.kind {
+            InodeKind::Dir { entries } => *entries.get(&name).ok_or(OsError::NotFound)?,
+            _ => return Err(OsError::NotADirectory),
+        };
+        let inode = st.inodes.get(&id).ok_or(OsError::NotFound)?;
+        let data = match &inode.kind {
+            InodeKind::File { data } => Some(data.clone()),
+            _ => None,
+        };
+        Ok((inode.labels().clone(), data))
+    }
+
+    /// Fault injection for the conformance testkit: poisons the big
+    /// kernel lock so the next syscall takes the poison-recovery path of
+    /// [`laminar_util::sync::Mutex`]. Verdicts must be unaffected.
+    #[cfg(feature = "fault-injection")]
+    pub fn poison_big_lock_for_test(self: &Arc<Self>) {
+        self.state.poison_for_test();
+    }
+
     /// Logs a user in: spawns a fresh process with one task whose
     /// capability set is the user's persistent capabilities and whose cwd
     /// is their home directory (§4.4's login-shell grant).

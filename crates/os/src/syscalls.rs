@@ -863,6 +863,24 @@ impl TaskHandle {
         }
     }
 
+    /// Messages (byte chunks plus capabilities) currently queued in a
+    /// pipe — a test affordance like [`Self::pipe_queued_for_test`],
+    /// used by the conformance testkit to diff buffer structure (a cap
+    /// at the head blocks byte reads, so the count matters) against the
+    /// reference oracle.
+    ///
+    /// # Errors
+    /// [`OsError::BadFd`] if `fd` is not a pipe.
+    pub fn pipe_msgs_for_test(&self, fd: Fd) -> OsResult<usize> {
+        let st = self.kernel.state.lock();
+        let pid = st.tasks.get(&self.tid).ok_or(OsError::NoSuchTask)?.process;
+        let file = st.processes.get(&pid).unwrap().fds.get(fd).ok_or(OsError::BadFd)?;
+        match &st.inodes.get(&file.inode).ok_or(OsError::BadFd)?.kind {
+            InodeKind::Pipe { buffer } => Ok(buffer.msg_count()),
+            _ => Err(OsError::BadFd),
+        }
+    }
+
     // ----- processes, threads, signals -------------------------------------
 
     /// `fork`: creates a new single-threaded process that copies the

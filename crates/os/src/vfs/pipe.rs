@@ -121,6 +121,11 @@ impl PipeBuffer {
     pub(crate) fn queued(&self) -> usize {
         self.bytes_queued
     }
+
+    /// Messages currently queued (byte chunks and capabilities).
+    pub(crate) fn msg_count(&self) -> usize {
+        self.msgs.len()
+    }
 }
 
 #[cfg(test)]

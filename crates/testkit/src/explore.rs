@@ -1,0 +1,258 @@
+//! The deterministic trace explorer: generate → replay both sides →
+//! diff → shrink → render.
+//!
+//! [`explore`] drives seeded random traces (see
+//! [`crate::trace::generate_trace`]) through the kernel and the oracle
+//! in lockstep, comparing per-op [`Outcome`]s and (periodically) full
+//! security states. On the first divergence it delta-debugs the trace
+//! down to a minimal reproducer and returns it as a [`Counterexample`]
+//! whose [`render_regression_test`] output is a copy-pasteable `#[test]`
+//! for `crates/testkit/tests/regressions.rs`.
+//!
+//! Everything is deterministic: a failure report's `(seed, ops)` names
+//! the exact trace forever, and `TESTKIT_SEED=<seed> cargo test -p
+//! laminar-testkit` re-runs just that seed.
+
+use crate::fault::{CacheFaultGuard, FaultPlan};
+use crate::oracle::Oracle;
+use crate::replay::KernelReplay;
+use crate::trace::{generate_trace, Op};
+use laminar_util::SplitMix64;
+
+/// How often (in ops) the full state diff runs; the final op always
+/// diffs. Outcome diffs run on every op regardless.
+const STATE_DIFF_STRIDE: usize = 4;
+
+/// One kernel/oracle disagreement.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// Index of the op that diverged.
+    pub index: usize,
+    /// The op itself.
+    pub op: Op,
+    /// Human-readable detail: both outcomes, or the state difference.
+    pub detail: String,
+}
+
+/// A shrunk, reproducible conformance failure.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// The trace seed that produced the original failure.
+    pub seed: u64,
+    /// The minimal op sequence still reproducing it.
+    pub ops: Vec<Op>,
+    /// What went wrong on the minimal trace.
+    pub divergence: Divergence,
+}
+
+/// Replays `ops` against a fresh kernel and a fresh oracle under
+/// `plan`, comparing outcomes on every op and states periodically.
+///
+/// # Errors
+/// The first [`Divergence`] found.
+pub fn run_trace(ops: &[Op], plan: &FaultPlan) -> Result<(), Divergence> {
+    let _guard = CacheFaultGuard::arm(plan.cache);
+    let mut oracle = Oracle::new();
+    let mut kernel = KernelReplay::new();
+    for (i, op) in ops.iter().enumerate() {
+        if let Some(n) = plan.poison_every {
+            if n > 0 && i % n == 0 {
+                kernel.poison_big_lock();
+            }
+        }
+        let kernel_out = kernel.apply(op, i);
+        let oracle_out = oracle.apply(op, i);
+        if kernel_out != oracle_out {
+            return Err(Divergence {
+                index: i,
+                op: op.clone(),
+                detail: format!(
+                    "outcome mismatch:\n  kernel: {kernel_out:?}\n  oracle: {oracle_out:?}"
+                ),
+            });
+        }
+        if (i + 1) % STATE_DIFF_STRIDE == 0 || i + 1 == ops.len() {
+            if let Some(d) = kernel.diff_state(&oracle) {
+                return Err(Divergence {
+                    index: i,
+                    op: op.clone(),
+                    detail: format!("state divergence after op: {d}"),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Delta-debugs a known-diverging trace: repeatedly removes single ops
+/// while the divergence persists, to a fixed point.
+///
+/// Returns the minimal trace and its divergence. Panics if `ops` does
+/// not actually diverge under `plan`.
+#[must_use]
+pub fn shrink(ops: &[Op], plan: &FaultPlan) -> (Vec<Op>, Divergence) {
+    let mut current = ops.to_vec();
+    let mut divergence = match run_trace(&current, plan) {
+        Err(d) => d,
+        Ok(()) => panic!("shrink called on a conforming trace"),
+    };
+    'outer: loop {
+        for i in 0..current.len() {
+            let mut candidate = current.clone();
+            candidate.remove(i);
+            if let Err(d) = run_trace(&candidate, plan) {
+                current = candidate;
+                divergence = d;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (current, divergence)
+}
+
+/// Renders a counterexample as a committed regression test, ready to
+/// paste into `crates/testkit/tests/regressions.rs`.
+#[must_use]
+pub fn render_regression_test(cex: &Counterexample) -> String {
+    let mut body = String::new();
+    for op in &cex.ops {
+        body.push_str(&format!("        {op:?},\n"));
+    }
+    format!(
+        "#[test]\nfn regression_seed_{seed:#018x}() {{\n    // {detail}\n    use \
+         laminar_testkit::Op::*;\n    laminar_testkit::assert_conformance(&[\n{body}    \
+         ]);\n}}\n",
+        seed = cex.seed,
+        detail = cex.divergence.detail.replace('\n', "\n    // "),
+        body = body,
+    )
+}
+
+/// Configuration of one exploration run.
+#[derive(Clone, Debug)]
+pub struct ExploreConfig {
+    /// Top-level seeds; each derives `traces_per_seed` trace seeds.
+    pub seeds: Vec<u64>,
+    /// Traces generated per top-level seed.
+    pub traces_per_seed: usize,
+    /// Ops per trace.
+    pub ops_per_trace: usize,
+    /// Fault regime for every trace in the run.
+    pub plan: FaultPlan,
+}
+
+impl ExploreConfig {
+    /// Default seed base for CI's fixed matrix.
+    pub const DEFAULT_SEED_BASE: u64 = 0xC0FF_EE00;
+    /// Default number of top-level seeds.
+    pub const DEFAULT_SEEDS: usize = 8;
+    /// Default traces per seed.
+    pub const DEFAULT_TRACES: usize = 500;
+    /// Default ops per trace.
+    pub const DEFAULT_OPS: usize = 28;
+
+    /// Builds a config from the environment:
+    ///
+    /// * `TESTKIT_SEED` — run exactly one top-level seed;
+    /// * `TESTKIT_SEED_BASE`, `TESTKIT_SEEDS` — seed matrix
+    ///   `base..base+n` (nightly CI passes a fresh base);
+    /// * `TESTKIT_TRACES`, `TESTKIT_OPS` — volume knobs.
+    ///
+    /// Numbers accept decimal or `0x`-prefixed hex.
+    #[must_use]
+    pub fn from_env(plan: FaultPlan) -> Self {
+        let seeds = if let Some(s) = env_u64("TESTKIT_SEED") {
+            vec![s]
+        } else {
+            let base = env_u64("TESTKIT_SEED_BASE").unwrap_or(Self::DEFAULT_SEED_BASE);
+            let n = env_u64("TESTKIT_SEEDS")
+                .map_or(Self::DEFAULT_SEEDS, |n| n as usize)
+                .max(1);
+            (0..n as u64).map(|i| base.wrapping_add(i)).collect()
+        };
+        ExploreConfig {
+            seeds,
+            traces_per_seed: env_u64("TESTKIT_TRACES")
+                .map_or(Self::DEFAULT_TRACES, |n| n as usize),
+            ops_per_trace: env_u64("TESTKIT_OPS")
+                .map_or(Self::DEFAULT_OPS, |n| n as usize),
+            plan,
+        }
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    let v = std::env::var(name).ok()?;
+    let v = v.trim();
+    let parsed = if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X"))
+    {
+        u64::from_str_radix(hex, 16)
+    } else {
+        v.parse()
+    };
+    match parsed {
+        Ok(n) => Some(n),
+        Err(_) => panic!("{name}={v:?} is not a number"),
+    }
+}
+
+/// Summary of a successful exploration.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreReport {
+    /// Traces replayed with zero divergence.
+    pub traces_run: usize,
+    /// Total ops replayed.
+    pub ops_run: usize,
+}
+
+/// Runs the full exploration. On the first divergence the failing trace
+/// is shrunk to a minimal counterexample; if `TESTKIT_ARTIFACT_DIR` is
+/// set, the rendered regression test is also written there (nightly CI
+/// uploads that directory).
+///
+/// # Errors
+/// The shrunk [`Counterexample`].
+pub fn explore(cfg: &ExploreConfig) -> Result<ExploreReport, Box<Counterexample>> {
+    let mut traces_run = 0;
+    let mut ops_run = 0;
+    for &seed in &cfg.seeds {
+        let mut derive = SplitMix64::new(seed);
+        for _ in 0..cfg.traces_per_seed {
+            let trace_seed = derive.next_u64();
+            let ops = generate_trace(trace_seed, cfg.ops_per_trace);
+            if run_trace(&ops, &cfg.plan).is_err() {
+                let (min_ops, divergence) = shrink(&ops, &cfg.plan);
+                let cex = Counterexample { seed: trace_seed, ops: min_ops, divergence };
+                write_artifact(&cex);
+                return Err(Box::new(cex));
+            }
+            traces_run += 1;
+            ops_run += ops.len();
+        }
+    }
+    Ok(ExploreReport { traces_run, ops_run })
+}
+
+fn write_artifact(cex: &Counterexample) {
+    let Ok(dir) = std::env::var("TESTKIT_ARTIFACT_DIR") else { return };
+    if dir.is_empty() {
+        return;
+    }
+    let _ = std::fs::create_dir_all(&dir);
+    let path = format!("{dir}/counterexample_{:#018x}.rs", cex.seed);
+    let _ = std::fs::write(&path, render_regression_test(cex));
+    eprintln!("testkit: wrote shrunk counterexample to {path}");
+}
+
+/// Replays a committed trace and panics with full detail on divergence
+/// — the entry point for regression tests produced by
+/// [`render_regression_test`].
+///
+/// # Panics
+/// On any kernel/oracle divergence.
+pub fn assert_conformance(ops: &[Op]) {
+    if let Err(d) = run_trace(ops, &FaultPlan::none()) {
+        panic!("conformance divergence at op {} ({:?}):\n{}", d.index, d.op, d.detail);
+    }
+}

@@ -1,0 +1,63 @@
+//! Fault plans: which injected faults a conformance run executes under.
+//!
+//! Laminar's enforcement must be *semantically invisible* to its own
+//! performance machinery: the flow-check cache and the lock wrappers
+//! are allowed to change timing, never verdicts. A [`FaultPlan`] names
+//! a hostile regime — cache disabled, cache thrashing, epoch churn,
+//! periodic lock poisoning — and the explorer asserts that every trace
+//! produces bit-identical outcomes and states under it.
+//!
+//! Fault modes are process-global (they model global cache state), so
+//! tests that arm them must serialize; [`CacheFaultGuard`] disarms on
+//! drop even if the test panics.
+
+pub use laminar_difc::cache::fault::{fault_mode, set_fault_mode, FaultMode};
+
+/// The fault regime for one conformance run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultPlan {
+    /// Cache fault mode armed for the whole run.
+    pub cache: FaultMode,
+    /// If set, poison the kernel's big lock before every `n`th op.
+    pub poison_every: Option<usize>,
+}
+
+impl FaultPlan {
+    /// No faults: the baseline regime.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A cache fault regime with no lock poisoning.
+    #[must_use]
+    pub fn cache(mode: FaultMode) -> Self {
+        FaultPlan { cache: mode, poison_every: None }
+    }
+
+    /// Adds periodic lock poisoning to this plan.
+    #[must_use]
+    pub fn with_poison(mut self, every: usize) -> Self {
+        self.poison_every = Some(every);
+        self
+    }
+}
+
+/// Arms a cache fault mode; disarms on drop (panic-safe).
+#[derive(Debug)]
+pub struct CacheFaultGuard(());
+
+impl CacheFaultGuard {
+    /// Arms `mode` process-wide until the guard drops.
+    #[must_use]
+    pub fn arm(mode: FaultMode) -> Self {
+        set_fault_mode(mode);
+        CacheFaultGuard(())
+    }
+}
+
+impl Drop for CacheFaultGuard {
+    fn drop(&mut self) {
+        set_fault_mode(FaultMode::None);
+    }
+}

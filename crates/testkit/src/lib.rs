@@ -1,0 +1,49 @@
+//! # laminar-testkit — model-based conformance testing for Laminar
+//!
+//! The enforcement stack under test spans three layers — LSM hooks in
+//! the simulated kernel, the Fig. 3 syscall surface, and the VM's
+//! read/write barriers — all routed through the interned, cached,
+//! sharded flow-check machinery of `laminar-difc`. This crate checks
+//! the whole stack against a **reference oracle**: an independent,
+//! dependency-free re-implementation of the paper's security state
+//! machine over plain `BTreeSet`s ([`Oracle`]).
+//!
+//! The pieces:
+//!
+//! * [`oracle`] — the pure model: labels, capabilities, the flow and
+//!   label-change rules, pipes, files, signals, region entry.
+//! * [`trace`] — the [`Op`] vocabulary and the seeded deterministic
+//!   trace generator.
+//! * [`replay`] — [`KernelReplay`], the adapter that executes each op
+//!   through the real syscall/VM surface and normalizes the result.
+//! * [`explore`] — the conformance loop: replay both sides in
+//!   lockstep, diff outcomes and states, shrink failures to minimal
+//!   committed regression tests.
+//! * [`fault`] — fault regimes (cache disabled / thrashing / epoch
+//!   churn, lock poisoning) under which every verdict must still be
+//!   bit-identical.
+//!
+//! Reproducing a CI failure locally:
+//!
+//! ```text
+//! TESTKIT_SEED=0xdeadbeef cargo test -p laminar-testkit
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod explore;
+pub mod fault;
+pub mod oracle;
+pub mod replay;
+pub mod trace;
+
+pub use explore::{
+    assert_conformance, explore, render_regression_test, run_trace, shrink,
+    Counterexample, Divergence, ExploreConfig, ExploreReport,
+};
+pub use fault::{CacheFaultGuard, FaultMode, FaultPlan};
+pub use oracle::{DenyKind, MCaps, MLabel, MPair, Oracle, Outcome};
+pub use replay::KernelReplay;
+pub use trace::{generate_trace, payload, Op};

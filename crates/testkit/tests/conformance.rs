@@ -1,0 +1,68 @@
+//! The conformance matrix: the seeded explorer run as `#[test]`s, once
+//! per fault regime.
+//!
+//! Fault modes and the flow-check cache are process-global, so every
+//! test here takes a shared lock — regimes must not bleed into each
+//! other. Volume is controlled by `TESTKIT_*` environment variables
+//! (see [`ExploreConfig::from_env`]); the defaults replay
+//! 8 seeds × 500 traces × 28 ops per regime.
+
+use laminar_testkit::{explore, ExploreConfig, FaultMode, FaultPlan};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+fn serialize() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn run(plan: FaultPlan, regime: &str) {
+    let _guard = serialize();
+    laminar_difc::reset_flow_cache();
+    let cfg = ExploreConfig::from_env(plan);
+    match explore(&cfg) {
+        Ok(report) => {
+            eprintln!(
+                "conformance [{regime}]: {} traces / {} ops, zero divergences \
+                 (seeds {:#x}..{:#x})",
+                report.traces_run,
+                report.ops_run,
+                cfg.seeds.first().copied().unwrap_or(0),
+                cfg.seeds.last().copied().unwrap_or(0),
+            );
+        }
+        Err(cex) => {
+            panic!(
+                "conformance divergence [{regime}] (trace seed {:#018x}, shrunk to \
+                 {} ops):\n{}\nreproduce: TESTKIT_SEED={:#x} cargo test -p \
+                 laminar-testkit\ncommit this regression test:\n\n{}",
+                cex.seed,
+                cex.ops.len(),
+                cex.divergence.detail,
+                cex.seed,
+                laminar_testkit::render_regression_test(&cex),
+            );
+        }
+    }
+}
+
+#[test]
+fn baseline_conformance() {
+    run(FaultPlan::none(), "baseline");
+}
+
+#[test]
+fn conformance_with_cache_disabled() {
+    run(FaultPlan::cache(FaultMode::ForceMiss), "force-miss");
+}
+
+#[test]
+fn conformance_under_eviction_storm() {
+    run(FaultPlan::cache(FaultMode::EvictionStorm), "eviction-storm");
+}
+
+#[test]
+fn conformance_under_epoch_churn_with_lock_poisoning() {
+    run(FaultPlan::cache(FaultMode::EpochChurn).with_poison(8), "churn+poison");
+}

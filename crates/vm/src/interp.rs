@@ -441,13 +441,13 @@ impl Vm {
     fn barrier_read_in(&mut self, obj: ObjRef) -> VmResult<()> {
         self.stats.read_barriers += 1;
         let pair = self.object_pair(obj)?;
-        pair.can_flow_to_cached(&self.labels).map_err(VmError::from)
+        crate::conformance::barrier_read_check(&pair, &self.labels)
     }
 
     fn barrier_write_in(&mut self, obj: ObjRef) -> VmResult<()> {
         self.stats.write_barriers += 1;
         let pair = self.object_pair(obj)?;
-        self.labels.can_flow_to_cached(&pair).map_err(VmError::from)
+        crate::conformance::barrier_write_check(&self.labels, &pair)
     }
 
     fn barrier_out(&mut self, obj: ObjRef, is_read: bool) -> VmResult<()> {

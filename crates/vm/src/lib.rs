@@ -74,6 +74,7 @@ pub mod asm;
 mod bridge;
 mod bytecode;
 mod compile;
+pub mod conformance;
 mod error;
 mod heap;
 mod interp;

@@ -285,3 +285,134 @@ fn unlink_is_a_write_to_the_parent() {
     alice.set_task_label(LabelType::Secrecy, Label::singleton(a)).unwrap();
     alice.unlink("/tmp/avault/f").unwrap();
 }
+
+#[test]
+fn labeled_pipes_silently_drop_in_both_lattice_directions() {
+    let (_k, alice) = boot_alice();
+    let a = alice.alloc_tag().unwrap();
+    let i = alice.alloc_tag().unwrap();
+
+    // An {S(a)} pipe, created while tainted.
+    alice.set_task_label(LabelType::Secrecy, Label::singleton(a)).unwrap();
+    let (sr, sw) = alice.pipe().unwrap();
+    alice.set_task_label(LabelType::Secrecy, Label::empty()).unwrap();
+
+    // An {I(i)} pipe, created while endorsed.
+    alice.set_task_label(LabelType::Integrity, Label::singleton(i)).unwrap();
+    let (_ir, iw) = alice.pipe().unwrap();
+    alice.set_task_label(LabelType::Integrity, Label::empty()).unwrap();
+
+    // Unlabeled → {S(a)}: a legal raise, delivered.
+    assert_eq!(alice.write(sw, b"up").unwrap(), 2);
+    // Unlabeled → {I(i)}: the writer cannot vouch, silently dropped —
+    // the return value must be indistinguishable from delivery (§5.2).
+    assert_eq!(alice.write(iw, b"forged").unwrap(), 6);
+
+    // Drain the secrecy pipe from a tainted reader: only the legal
+    // message arrived.
+    alice.set_task_label(LabelType::Secrecy, Label::singleton(a)).unwrap();
+    assert_eq!(alice.read(sr, 16).unwrap(), b"up");
+
+    // An {S(a),S(b)}-tainted writer outranks the {S(a)} pipe: dropped.
+    let b = alice.alloc_tag().unwrap();
+    alice.set_task_label(LabelType::Secrecy, Label::from_tags([a, b])).unwrap();
+    assert_eq!(alice.write(sw, b"too-high").unwrap(), 8);
+    alice.set_task_label(LabelType::Secrecy, Label::singleton(a)).unwrap();
+    assert_eq!(alice.read(sr, 16).unwrap(), b"", "over-tainted write must not arrive");
+}
+
+#[test]
+fn pipe_read_flow_failure_is_a_visible_error() {
+    // Reads are the *safe* direction: denying one reveals nothing the
+    // reader couldn't already know, so unlike writes the failure is loud.
+    let (_k, alice) = boot_alice();
+    let a = alice.alloc_tag().unwrap();
+    alice.set_task_label(LabelType::Secrecy, Label::singleton(a)).unwrap();
+    let (r, w) = alice.pipe().unwrap(); // {S(a)} pipe
+    assert_eq!(alice.write(w, b"secret").unwrap(), 6);
+    alice.set_task_label(LabelType::Secrecy, Label::empty()).unwrap();
+
+    // Unlabeled reader: visible FlowDenied, not an empty read.
+    assert!(matches!(alice.read(r, 16), Err(OsError::FlowDenied(_))));
+
+    // Tainted again: nonblocking read returns the data, then empty —
+    // never EOF, never an error.
+    alice.set_task_label(LabelType::Secrecy, Label::singleton(a)).unwrap();
+    assert_eq!(alice.read(r, 16).unwrap(), b"secret");
+    assert_eq!(alice.read(r, 16).unwrap(), b"");
+}
+
+#[test]
+fn create_file_labeled_checks_the_three_conditions_in_order() {
+    let (_k, alice) = boot_alice();
+    let a = alice.alloc_tag().unwrap();
+    let i = alice.alloc_tag().unwrap();
+    let sa = SecPair::secrecy_only(Label::singleton(a));
+    alice.mkdir_labeled("/tmp/avault", sa.clone()).unwrap();
+
+    // Condition 1a: an {S(a)} creator may not mint a file *below* its
+    // taint, even inside the {S(a)} directory. PermissionDenied, not a
+    // flow error — the checks short-circuit before the parent write.
+    alice.set_task_label(LabelType::Secrecy, Label::singleton(a)).unwrap();
+    assert!(matches!(
+        alice.create_file_labeled("/tmp/avault/low", SecPair::unlabeled()),
+        Err(OsError::PermissionDenied(_))
+    ));
+
+    // Condition 1b: nobody can stamp integrity they do not carry.
+    assert!(matches!(
+        alice.create_file_labeled(
+            "/tmp/avault/vouched",
+            SecPair::new(Label::singleton(a), Label::singleton(i))
+        ),
+        Err(OsError::PermissionDenied(_))
+    ));
+
+    // Condition 3: same creator, unlabeled parent — now it *is* the
+    // flow check that fires (the name would leak into /tmp).
+    assert!(matches!(
+        alice.create_file_labeled("/tmp/leak", sa.clone()),
+        Err(OsError::FlowDenied(_))
+    ));
+
+    // All conditions met: create succeeds.
+    let fd = alice.create_file_labeled("/tmp/avault/ok", sa.clone()).unwrap();
+    alice.close(fd).unwrap();
+
+    // Condition 2: shed the a+ capability and the same create is
+    // rejected — the taint is no longer voluntary.
+    alice.drop_capabilities(&[Capability::plus(a)]).unwrap();
+    assert!(matches!(
+        alice.create_file_labeled("/tmp/avault/involuntary", sa),
+        Err(OsError::PermissionDenied(_))
+    ));
+}
+
+#[test]
+fn mkdir_labeled_follows_the_same_create_conditions() {
+    let (_k, alice) = boot_alice();
+    let a = alice.alloc_tag().unwrap();
+    let sa = SecPair::secrecy_only(Label::singleton(a));
+    alice.mkdir_labeled("/tmp/avault", sa.clone()).unwrap();
+    alice.set_task_label(LabelType::Secrecy, Label::singleton(a)).unwrap();
+
+    // Condition 1a for directories.
+    assert!(matches!(
+        alice.mkdir_labeled("/tmp/avault/plain", SecPair::unlabeled()),
+        Err(OsError::PermissionDenied(_))
+    ));
+    // Condition 3 for directories.
+    assert!(matches!(
+        alice.mkdir_labeled("/tmp/leakdir", sa.clone()),
+        Err(OsError::FlowDenied(_))
+    ));
+    // Legal nested secret directory.
+    alice.mkdir_labeled("/tmp/avault/inner", sa.clone()).unwrap();
+
+    // Condition 2 for directories: involuntary taint blocks mkdir too.
+    alice.drop_capabilities(&[Capability::plus(a)]).unwrap();
+    assert!(matches!(
+        alice.mkdir_labeled("/tmp/avault/involuntary", sa),
+        Err(OsError::PermissionDenied(_))
+    ));
+}
