@@ -24,6 +24,9 @@ pub enum LaminarError {
     /// An application exception raised by region code (the payload is the
     /// application's message); confined by the region's catch semantics.
     App(String),
+    /// A runtime-internal invariant failed; the operation was abandoned
+    /// fail-closed (no security state was changed) instead of unwinding.
+    Internal(&'static str),
 }
 
 impl fmt::Display for LaminarError {
@@ -39,6 +42,9 @@ impl fmt::Display for LaminarError {
             }
             LaminarError::Os(e) => write!(f, "os error: {e}"),
             LaminarError::App(msg) => write!(f, "application exception: {msg}"),
+            LaminarError::Internal(msg) => {
+                write!(f, "internal runtime fault: {msg}")
+            }
         }
     }
 }

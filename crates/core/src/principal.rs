@@ -341,7 +341,10 @@ impl Principal {
 
     fn exit_region(&self) -> LaminarResult<()> {
         let mut st = self.state.lock();
-        let frame = st.frames.pop().expect("region exit without entry");
+        // An exit with no matching entry is an internal invariant break;
+        // surface it fail-closed instead of unwinding with the lock held.
+        let frame =
+            st.frames.pop().ok_or(LaminarError::Internal("region exit without entry"))?;
         if st.synced {
             // The kernel task carries the region's labels; only the
             // trusted tcb thread can drop them — the thread itself may
@@ -378,7 +381,12 @@ impl Principal {
         if !to_suspend.is_empty() {
             let drops: Vec<Capability> = to_suspend.iter().collect();
             self.task.drop_capabilities(&drops)?;
-            let frame = st.frames.last_mut().expect("in region");
+            // Non-empty frames were checked at function entry; treat a
+            // vanished frame as an internal fault rather than unwinding.
+            let frame = st
+                .frames
+                .last_mut()
+                .ok_or(LaminarError::Internal("capability sync outside a region"))?;
             frame.suspended = frame.suspended.union(&to_suspend);
         }
         if !st.labels.is_unlabeled() {

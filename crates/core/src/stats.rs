@@ -14,6 +14,48 @@ pub use laminar_difc::{
     flow_cache_stats, intern_stats, reset_flow_cache, FlowCacheStats, InternStats,
 };
 
+/// Snapshot of the process-global fail-closed fault counters across all
+/// three layers: lock-poison recoveries in the utility layer, syscall
+/// rollbacks at the kernel dispatch boundary, and security-region aborts
+/// in the VM. Together they answer "did anything fault, and was every
+/// fault contained?" after a stress or fault-injection run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Mutex poison events recovered by `laminar_util::sync`.
+    pub poison_recoveries: u64,
+    /// Kernel syscalls rolled back after an internal fault
+    /// ([`laminar_os::syscalls_rolled_back`]).
+    pub syscalls_rolled_back: u64,
+    /// VM security regions whose labeled writes were rolled back
+    /// ([`laminar_vm::regions_aborted`]).
+    pub regions_aborted: u64,
+}
+
+impl FaultStats {
+    /// Total contained faults across all layers.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.poison_recoveries + self.syscalls_rolled_back + self.regions_aborted
+    }
+}
+
+/// Reads the current global fault counters of every layer.
+#[must_use]
+pub fn fault_stats() -> FaultStats {
+    FaultStats {
+        poison_recoveries: laminar_util::sync::poison_recoveries(),
+        syscalls_rolled_back: laminar_os::syscalls_rolled_back(),
+        regions_aborted: laminar_vm::regions_aborted(),
+    }
+}
+
+/// Resets every layer's global fault counter to zero.
+pub fn reset_fault_stats() {
+    laminar_util::sync::reset_poison_recoveries();
+    laminar_os::reset_syscalls_rolled_back();
+    laminar_vm::reset_regions_aborted();
+}
+
 /// Counters accumulated by a [`crate::Principal`].
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RuntimeStats {

@@ -38,6 +38,16 @@ pub enum OsError {
     NotEmpty,
     /// `ENOSYS`-ish: the operation is not supported on this inode kind.
     Unsupported(&'static str),
+    /// `ELOOP`: too many levels of symbolic links during resolution.
+    SymlinkLoop,
+    /// `EDQUOT`-style: a resource quota (fds, inodes, tags) is exhausted.
+    /// The payload names the exhausted resource; the operation had no
+    /// effect and succeeds again once the resource is released.
+    QuotaExceeded(&'static str),
+    /// An internal kernel fault was caught at the syscall boundary. The
+    /// transaction was rolled back: fail-closed, the syscall had no
+    /// effect on any security state.
+    Internal,
 }
 
 impl fmt::Display for OsError {
@@ -61,6 +71,11 @@ impl fmt::Display for OsError {
             OsError::Fault => f.write_str("bad address"),
             OsError::NotEmpty => f.write_str("directory not empty"),
             OsError::Unsupported(what) => write!(f, "operation not supported: {what}"),
+            OsError::SymlinkLoop => f.write_str("too many levels of symbolic links"),
+            OsError::QuotaExceeded(what) => write!(f, "quota exceeded: {what}"),
+            OsError::Internal => {
+                f.write_str("internal kernel fault (syscall rolled back)")
+            }
         }
     }
 }
@@ -103,6 +118,9 @@ mod tests {
                 leaked: Label::empty(),
             }),
             OsError::PermissionDenied("x"),
+            OsError::SymlinkLoop,
+            OsError::QuotaExceeded("file descriptors"),
+            OsError::Internal,
         ];
         for e in errs {
             let s = e.to_string();

@@ -12,11 +12,13 @@
 use crate::error::{OsError, OsResult};
 use crate::lsm::{Access, SecurityModule};
 use crate::task::{ProcessId, ProcessStruct, TaskId, TaskSec, TaskStruct, UserId};
+use crate::txn::{Quotas, Txn};
 use crate::vfs::file::FdTable;
 use crate::vfs::inode::{Inode, InodeId, InodeKind, Xattrs};
 use laminar_difc::{CapSet, Label, SecPair, Tag, TagAllocator};
 use laminar_util::sync::Mutex;
 use std::collections::{BTreeMap, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// Mutable kernel state, guarded by the big kernel lock.
@@ -35,6 +37,92 @@ pub(crate) struct KState {
     pub homes: HashMap<UserId, InodeId>,
     /// Count of LSM hook invocations (observability for tests/benches).
     pub hook_calls: u64,
+    /// Tags minted per user via `alloc_tag` (for the tag quota).
+    pub tags_minted: HashMap<UserId, u64>,
+}
+
+/// A one-shot failpoint armed inside the kernel by the conformance
+/// testkit. Exactly one may be armed at a time; it fires at most once
+/// (disarming itself) and records that it fired.
+#[cfg(feature = "fault-injection")]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum SyscallFailpoint {
+    /// Panic inside the next LSM hook invocation — an internal fault in
+    /// the middle of a syscall body, after some state may have been
+    /// staged.
+    PanicAtHook,
+    /// Panic after the next syscall body *succeeds*, just before commit —
+    /// a mid-syscall abort at the latest possible point.
+    AbortLate,
+    /// Make the next resource allocation (inode, fd, tag) report quota
+    /// exhaustion.
+    QuotaNext,
+}
+
+/// Shared failpoint state (see [`SyscallFailpoint`]).
+#[cfg(feature = "fault-injection")]
+#[derive(Default)]
+pub(crate) struct Failpoints {
+    armed: std::sync::atomic::AtomicU8,
+    fired: std::sync::atomic::AtomicBool,
+}
+
+#[cfg(feature = "fault-injection")]
+impl Failpoints {
+    const NONE: u8 = 0;
+    const PANIC_AT_HOOK: u8 = 1;
+    const ABORT_LATE: u8 = 2;
+    const QUOTA_NEXT: u8 = 3;
+
+    fn code(fp: SyscallFailpoint) -> u8 {
+        match fp {
+            SyscallFailpoint::PanicAtHook => Self::PANIC_AT_HOOK,
+            SyscallFailpoint::AbortLate => Self::ABORT_LATE,
+            SyscallFailpoint::QuotaNext => Self::QUOTA_NEXT,
+        }
+    }
+
+    fn arm(&self, fp: SyscallFailpoint) {
+        use std::sync::atomic::Ordering;
+        self.fired.store(false, Ordering::SeqCst);
+        self.armed.store(Self::code(fp), Ordering::SeqCst);
+    }
+
+    fn take_fired(&self) -> bool {
+        use std::sync::atomic::Ordering;
+        self.armed.store(Self::NONE, Ordering::SeqCst);
+        self.fired.swap(false, Ordering::SeqCst)
+    }
+
+    fn take_if(&self, code: u8) -> bool {
+        use std::sync::atomic::Ordering;
+        if self
+            .armed
+            .compare_exchange(code, Self::NONE, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            self.fired.store(true, Ordering::SeqCst);
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn fire_panic_at_hook(&self) {
+        if self.take_if(Self::PANIC_AT_HOOK) {
+            panic!("injected failpoint: panic inside LSM hook");
+        }
+    }
+
+    pub(crate) fn fire_abort_late(&self) {
+        if self.take_if(Self::ABORT_LATE) {
+            panic!("injected failpoint: abort before syscall commit");
+        }
+    }
+
+    pub(crate) fn take_quota(&self) -> bool {
+        self.take_if(Self::QUOTA_NEXT)
+    }
 }
 
 /// The simulated kernel. Create one with [`Kernel::boot`], obtain task
@@ -62,6 +150,9 @@ pub struct Kernel {
     pub(crate) state: Mutex<KState>,
     pub(crate) module: Box<dyn SecurityModule>,
     pub(crate) tags: TagAllocator,
+    pub(crate) quotas: Quotas,
+    #[cfg(feature = "fault-injection")]
+    pub(crate) failpoints: Failpoints,
     tcb_tag: Tag,
     admin_tag: Tag,
 }
@@ -94,6 +185,16 @@ impl Kernel {
     /// the system administrator's tag, §5.2), plus unlabeled `/tmp`,
     /// `/dev` and the `/dev/null` device.
     pub fn boot<M: SecurityModule + 'static>(module: M) -> Arc<Kernel> {
+        Self::boot_with_quotas(module, Quotas::default())
+    }
+
+    /// Like [`Kernel::boot`] but with explicit resource quotas (see
+    /// [`Quotas`]); the defaults are generous enough that ordinary
+    /// workloads never hit them.
+    pub fn boot_with_quotas<M: SecurityModule + 'static>(
+        module: M,
+        quotas: Quotas,
+    ) -> Arc<Kernel> {
         let tags = TagAllocator::new();
         let tcb_tag = tags.fresh();
         let admin_tag = tags.fresh();
@@ -120,16 +221,17 @@ impl Kernel {
             mkino(InodeKind::Dir { entries: BTreeMap::new() }, SecPair::unlabeled());
         let null = mkino(InodeKind::NullDevice, SecPair::unlabeled());
 
+        if let Some(InodeKind::Dir { entries }) =
+            inodes.get_mut(&root).map(|n| &mut n.kind)
         {
-            let rootnode = inodes.get_mut(&root).unwrap();
-            if let InodeKind::Dir { entries } = &mut rootnode.kind {
-                entries.insert("etc".into(), etc);
-                entries.insert("home".into(), home);
-                entries.insert("tmp".into(), tmp);
-                entries.insert("dev".into(), dev);
-            }
+            entries.insert("etc".into(), etc);
+            entries.insert("home".into(), home);
+            entries.insert("tmp".into(), tmp);
+            entries.insert("dev".into(), dev);
         }
-        if let InodeKind::Dir { entries } = &mut inodes.get_mut(&dev).unwrap().kind {
+        if let Some(InodeKind::Dir { entries }) =
+            inodes.get_mut(&dev).map(|n| &mut n.kind)
+        {
             entries.insert("null".into(), null);
         }
 
@@ -145,12 +247,76 @@ impl Kernel {
                 persistent_caps: HashMap::new(),
                 homes: HashMap::new(),
                 hook_calls: 0,
+                tags_minted: HashMap::new(),
             }),
             module: Box::new(module),
             tags,
+            quotas,
+            #[cfg(feature = "fault-injection")]
+            failpoints: Failpoints::default(),
             tcb_tag,
             admin_tag,
         })
+    }
+
+    /// The resource quotas this kernel was booted with.
+    #[must_use]
+    pub fn quotas(&self) -> &Quotas {
+        &self.quotas
+    }
+
+    /// Runs one syscall body as a transaction under a panic boundary.
+    ///
+    /// The big kernel lock is held across the whole dispatch, including
+    /// the `catch_unwind`, so an internal fault can never poison it. On
+    /// `Ok` the transaction commits; on `Err` *or* a caught panic the
+    /// undo journal restores every mutated entry and the caller sees a
+    /// typed error — [`OsError::Internal`] for faults — while the kernel
+    /// keeps serving every other task.
+    pub(crate) fn syscall<T>(
+        &self,
+        f: impl FnOnce(&mut Txn<'_>) -> OsResult<T>,
+    ) -> OsResult<T> {
+        let mut st = self.state.lock();
+        let mut txn = Txn::new(
+            &mut st,
+            &self.quotas,
+            #[cfg(feature = "fault-injection")]
+            &self.failpoints,
+        );
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let r = f(&mut txn);
+            #[cfg(feature = "fault-injection")]
+            if r.is_ok() {
+                self.failpoints.fire_abort_late();
+            }
+            r
+        }));
+        match outcome {
+            Ok(Ok(v)) => Ok(v),
+            Ok(Err(e)) => {
+                txn.rollback();
+                Err(e)
+            }
+            Err(_panic) => {
+                txn.rollback();
+                crate::stats::note_syscall_rolled_back();
+                Err(OsError::Internal)
+            }
+        }
+    }
+
+    /// Arms a one-shot [`SyscallFailpoint`] (conformance testkit).
+    #[cfg(feature = "fault-injection")]
+    pub fn arm_failpoint_for_test(self: &Arc<Self>, fp: SyscallFailpoint) {
+        self.failpoints.arm(fp);
+    }
+
+    /// Reports whether the armed failpoint fired, clearing both the
+    /// fired flag and any still-armed failpoint.
+    #[cfg(feature = "fault-injection")]
+    pub fn take_failpoint_fired(self: &Arc<Self>) -> bool {
+        self.failpoints.take_fired()
     }
 
     /// The special `tcb` integrity tag (§4.4): only a task whose
@@ -196,11 +362,13 @@ impl Kernel {
             },
         );
         let root = st.root;
-        let home = match &st.inodes.get(&root).unwrap().kind {
-            InodeKind::Dir { entries } => *entries.get("home").unwrap(),
-            _ => unreachable!(),
+        let home = match st.inodes.get(&root).map(|n| &n.kind) {
+            Some(InodeKind::Dir { entries }) => entries.get("home").copied(),
+            _ => None,
         };
-        if let InodeKind::Dir { entries } = &mut st.inodes.get_mut(&home).unwrap().kind {
+        if let Some(InodeKind::Dir { entries }) =
+            home.and_then(|h| st.inodes.get_mut(&h)).map(|n| &mut n.kind)
+        {
             entries.insert(name.to_string(), id);
         }
         st.homes.insert(user, id);
@@ -224,8 +392,8 @@ impl Kernel {
             InodeKind::Dir { entries: BTreeMap::new() },
             labels,
         );
-        match &mut st.inodes.get_mut(&parent).unwrap().kind {
-            InodeKind::Dir { entries } => {
+        match st.inodes.get_mut(&parent).map(|n| &mut n.kind) {
+            Some(InodeKind::Dir { entries }) => {
                 if entries.contains_key(&name) {
                     return Err(OsError::Exists);
                 }
@@ -251,8 +419,8 @@ impl Kernel {
         let (parent, name) = Self::admin_resolve(&st, path)?;
         let id =
             Kernel::alloc_inode(&mut st, InodeKind::File { data: data.to_vec() }, labels);
-        match &mut st.inodes.get_mut(&parent).unwrap().kind {
-            InodeKind::Dir { entries } => {
+        match st.inodes.get_mut(&parent).map(|n| &mut n.kind) {
+            Some(InodeKind::Dir { entries }) => {
                 if entries.contains_key(&name) {
                     return Err(OsError::Exists);
                 }
@@ -353,7 +521,7 @@ impl Kernel {
         let t = st.tasks.get_mut(&task.tid).ok_or(OsError::NoSuchTask)?;
         t.security.caps_mut().grant_both(tcb);
         let pid = t.process;
-        st.processes.get_mut(&pid).unwrap().trusted_vm = true;
+        st.processes.get_mut(&pid).ok_or(OsError::Internal)?.trusted_vm = true;
         Ok(())
     }
 
@@ -421,12 +589,12 @@ impl Kernel {
     /// Invokes the `inode_permission` hook, counting it.
     pub(crate) fn hook_inode_permission(
         &self,
-        st: &mut KState,
+        st: &mut Txn<'_>,
         task: &TaskSec,
         ino: InodeId,
         mask: Access,
     ) -> OsResult<()> {
-        st.hook_calls += 1;
+        st.count_hook();
         let labels = Self::inode_labels(st, ino)?;
         self.module.inode_permission(task, &labels, mask)
     }
@@ -443,7 +611,7 @@ impl Kernel {
     /// target inode if it exists.
     pub(crate) fn resolve(
         &self,
-        st: &mut KState,
+        st: &mut Txn<'_>,
         tid: TaskId,
         path: &str,
     ) -> OsResult<Resolved> {
@@ -454,7 +622,7 @@ impl Kernel {
     /// final component (for `readlink`/`lstat`).
     pub(crate) fn resolve_nofollow(
         &self,
-        st: &mut KState,
+        st: &mut Txn<'_>,
         tid: TaskId,
         path: &str,
     ) -> OsResult<Resolved> {
@@ -463,7 +631,7 @@ impl Kernel {
 
     fn resolve_full(
         &self,
-        st: &mut KState,
+        st: &mut Txn<'_>,
         tid: TaskId,
         path: &str,
         follow_final: bool,
@@ -476,8 +644,8 @@ impl Kernel {
         {
             (st.root, stripped)
         } else {
-            let proc_id = st.tasks.get(&tid).unwrap().process;
-            (st.processes.get(&proc_id).unwrap().cwd, path)
+            let proc_id = st.tasks.get(&tid).ok_or(OsError::NoSuchTask)?.process;
+            (st.processes.get(&proc_id).ok_or(OsError::Internal)?.cwd, path)
         };
         let comps: Vec<String> = rel
             .split('/')
@@ -489,7 +657,7 @@ impl Kernel {
 
     fn walk(
         &self,
-        st: &mut KState,
+        st: &mut Txn<'_>,
         task: &TaskSec,
         start: InodeId,
         comps: Vec<String>,
@@ -497,7 +665,7 @@ impl Kernel {
         depth: u32,
     ) -> OsResult<Resolved> {
         if depth > 8 {
-            return Err(OsError::InvalidArgument("too many levels of symbolic links"));
+            return Err(OsError::SymlinkLoop);
         }
         if comps.is_empty() {
             return Ok(Resolved {
@@ -516,7 +684,7 @@ impl Kernel {
                 if stack.len() > 1 {
                     stack.pop();
                 }
-                cur = *stack.last().unwrap();
+                cur = *stack.last().ok_or(OsError::Internal)?;
                 if last {
                     return Ok(Resolved {
                         parent: None,
@@ -600,7 +768,9 @@ impl Kernel {
                 }
             }
         }
-        unreachable!("loop returns on last component");
+        // The loop always returns on the last component; reaching here
+        // would be an internal invariant failure, reported fail-closed.
+        Err(OsError::Internal)
     }
 
     pub(crate) fn alloc_inode(

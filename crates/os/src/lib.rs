@@ -46,20 +46,27 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod error;
 mod kernel;
 mod laminar_lsm;
 mod lsm;
+pub mod stats;
 mod syscalls;
 mod task;
+mod txn;
 mod vfs;
 
 pub use error::{OsError, OsResult};
+#[cfg(feature = "fault-injection")]
+pub use kernel::SyscallFailpoint;
 pub use kernel::{Kernel, TaskHandle};
 pub use laminar_lsm::LaminarModule;
 pub use lsm::{Access, DeliveryVerdict, NullModule, SecurityModule};
+pub use stats::{reset_syscalls_rolled_back, syscalls_rolled_back};
 pub use task::{ProcessId, Signal, TaskId, TaskSec, UserId, VmArea};
+pub use txn::Quotas;
 pub use vfs::file::{Fd, OpenMode, PipeEnd, SocketEnd};
 pub use vfs::inode::{InodeId, Metadata, Xattrs};
 pub use vfs::pipe::PIPE_CAPACITY;

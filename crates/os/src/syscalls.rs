@@ -7,15 +7,20 @@
 //! studies and the lmbench-style microbenchmarks need.
 //!
 //! Every syscall runs under the kernel lock and consults the loaded
-//! security module at the same points a Linux LSM would.
+//! security module at the same points a Linux LSM would. Every *mutating*
+//! syscall body executes inside a [`crate::txn::Txn`] transaction under
+//! the panic boundary of [`Kernel::syscall`]: an internal fault (or an
+//! error return) rolls the journal back, so a failed syscall is a no-op
+//! on labels, capabilities, fd tables and the VFS — the kernel fails
+//! closed and keeps serving every other task.
 
 use crate::error::{OsError, OsResult};
 use crate::kernel::{Kernel, TaskHandle};
 use crate::lsm::{Access, DeliveryVerdict};
-use crate::task::{ProcessId, Signal, TaskId, TaskSec, UserId, VmArea};
+use crate::task::{ProcessId, Signal, TaskId, TaskSec, TaskStruct, UserId, VmArea};
 use crate::vfs::file::{Fd, OpenFile, OpenMode, PipeEnd, SocketEnd};
-use crate::vfs::inode::{InodeKind, Metadata};
-use crate::vfs::pipe::{PipeBuffer, PIPE_CAPACITY};
+use crate::vfs::inode::{InodeId, InodeKind, Metadata};
+use crate::vfs::pipe::PipeBuffer;
 use laminar_difc::{
     check_pair_change, CapSet, Capability, Label, LabelType, SecPair, Tag,
 };
@@ -29,14 +34,23 @@ impl TaskHandle {
     /// capabilities. The allocator is trusted and guarantees uniqueness.
     ///
     /// # Errors
-    /// Fails if the task has exited.
+    /// Fails if the task has exited; [`OsError::QuotaExceeded`] once the
+    /// per-user tag quota is spent.
     pub fn alloc_tag(&self) -> OsResult<Tag> {
-        let mut st = self.kernel.state.lock();
-        let t =
-            st.tasks.get_mut(&self.tid).filter(|t| t.alive).ok_or(OsError::NoSuchTask)?;
-        let tag = self.kernel.tags.fresh();
-        t.security.caps_mut().grant_both(tag);
-        Ok(tag)
+        self.kernel.syscall(|st| {
+            let user = st
+                .tasks
+                .get(&self.tid)
+                .filter(|t| t.alive)
+                .ok_or(OsError::NoSuchTask)?
+                .user;
+            st.mint_tag(user)?;
+            // The allocator lives outside the journal: a tag id minted by
+            // an aborted transaction is simply never used (ids are opaque).
+            let tag = self.kernel.tags.fresh();
+            st.task_mut(self.tid)?.security.caps_mut().grant_both(tag);
+            Ok(tag)
+        })
     }
 
     /// `set_task_label`: replaces one of the caller's labels, checking
@@ -49,33 +63,37 @@ impl TaskHandle {
     /// [`OsError::LabelChangeDenied`] if a capability is missing;
     /// [`OsError::PermissionDenied`] for the multithreading restriction.
     pub fn set_task_label(&self, ty: LabelType, new: Label) -> OsResult<()> {
-        let mut st = self.kernel.state.lock();
-        let sec = Kernel::task_sec(&st, self.tid)?;
-        let new_pair = sec.labels.with_label(ty, new);
-        if new_pair == sec.labels {
-            // O(1) by interned pair id: an identity change always passes
-            // both the capability rule and the LSM hook, so skip both.
-            return Ok(());
-        }
-        check_pair_change(&sec.labels, &new_pair, &sec.caps)?;
-        st.hook_calls += 1;
-        self.kernel.module.task_set_label(&sec, &new_pair)?;
-        let pid = st.tasks.get(&self.tid).unwrap().process;
-        let proc = st.processes.get(&pid).unwrap();
-        if !proc.trusted_vm && proc.tasks.len() > 1 {
-            // Without a trusted VM all threads must keep identical
-            // labels; a per-thread change would desynchronise them.
-            let homogeneous = proc.tasks.iter().all(|t| {
-                st.tasks.get(t).map(|ts| ts.security.labels == new_pair).unwrap_or(true)
-            });
-            if !homogeneous {
-                return Err(OsError::PermissionDenied(
-                    "threads of an untrusted multithreaded process must share labels",
-                ));
+        self.kernel.syscall(|st| {
+            let sec = Kernel::task_sec(st, self.tid)?;
+            let new_pair = sec.labels.with_label(ty, new);
+            if new_pair == sec.labels {
+                // O(1) by interned pair id: an identity change always passes
+                // both the capability rule and the LSM hook, so skip both.
+                return Ok(());
             }
-        }
-        st.tasks.get_mut(&self.tid).unwrap().security.labels = new_pair;
-        Ok(())
+            check_pair_change(&sec.labels, &new_pair, &sec.caps)?;
+            st.count_hook();
+            self.kernel.module.task_set_label(&sec, &new_pair)?;
+            let pid = st.tasks.get(&self.tid).ok_or(OsError::NoSuchTask)?.process;
+            let proc = st.processes.get(&pid).ok_or(OsError::Internal)?;
+            if !proc.trusted_vm && proc.tasks.len() > 1 {
+                // Without a trusted VM all threads must keep identical
+                // labels; a per-thread change would desynchronise them.
+                let homogeneous = proc.tasks.iter().all(|t| {
+                    st.tasks
+                        .get(t)
+                        .map(|ts| ts.security.labels == new_pair)
+                        .unwrap_or(true)
+                });
+                if !homogeneous {
+                    return Err(OsError::PermissionDenied(
+                        "threads of an untrusted multithreaded process must share labels",
+                    ));
+                }
+            }
+            st.task_mut(self.tid)?.security.labels = new_pair;
+            Ok(())
+        })
     }
 
     /// Replaces both labels at once (convenience used by the trusted
@@ -98,29 +116,31 @@ impl TaskHandle {
     /// [`OsError::PermissionDenied`] without the `tcb` tag or across
     /// address spaces.
     pub fn drop_label_tcb(&self, target: TaskId) -> OsResult<()> {
-        let mut st = self.kernel.state.lock();
-        let sec = Kernel::task_sec(&st, self.tid)?;
-        if !sec.labels.integrity().contains(self.kernel.tcb_tag()) {
-            return Err(OsError::PermissionDenied(
-                "drop_label_tcb requires the tcb integrity tag",
-            ));
-        }
-        let my_pid = st.tasks.get(&self.tid).unwrap().process;
-        let t = st.tasks.get_mut(&target).ok_or(OsError::NoSuchTask)?;
-        if t.process != my_pid {
-            return Err(OsError::PermissionDenied(
-                "drop_label_tcb is limited to the caller's address space",
-            ));
-        }
-        // Clear everything except the tcb tag itself if the target is the
-        // trusted thread (so it can keep making privileged calls).
-        let keep_tcb = t.security.labels.integrity().contains(self.kernel.tcb_tag());
-        t.security.labels = if keep_tcb && target == self.tid {
-            SecPair::integrity_only(Label::singleton(self.kernel.tcb_tag()))
-        } else {
-            SecPair::unlabeled()
-        };
-        Ok(())
+        self.kernel.syscall(|st| {
+            let sec = Kernel::task_sec(st, self.tid)?;
+            if !sec.labels.integrity().contains(self.kernel.tcb_tag()) {
+                return Err(OsError::PermissionDenied(
+                    "drop_label_tcb requires the tcb integrity tag",
+                ));
+            }
+            let my_pid = st.tasks.get(&self.tid).ok_or(OsError::NoSuchTask)?.process;
+            let t = st.tasks.get(&target).ok_or(OsError::NoSuchTask)?;
+            if t.process != my_pid {
+                return Err(OsError::PermissionDenied(
+                    "drop_label_tcb is limited to the caller's address space",
+                ));
+            }
+            // Clear everything except the tcb tag itself if the target is the
+            // trusted thread (so it can keep making privileged calls).
+            let keep_tcb = t.security.labels.integrity().contains(self.kernel.tcb_tag());
+            let new = if keep_tcb && target == self.tid {
+                SecPair::integrity_only(Label::singleton(self.kernel.tcb_tag()))
+            } else {
+                SecPair::unlabeled()
+            };
+            st.task_mut(target)?.security.labels = new;
+            Ok(())
+        })
     }
 
     /// Sets the labels of a thread in the caller's address space *without
@@ -135,22 +155,23 @@ impl TaskHandle {
     /// [`OsError::PermissionDenied`] without the `tcb` tag or across
     /// address spaces.
     pub fn set_task_labels_tcb(&self, target: TaskId, labels: SecPair) -> OsResult<()> {
-        let mut st = self.kernel.state.lock();
-        let sec = Kernel::task_sec(&st, self.tid)?;
-        if !sec.labels.integrity().contains(self.kernel.tcb_tag()) {
-            return Err(OsError::PermissionDenied(
-                "set_task_labels_tcb requires the tcb integrity tag",
-            ));
-        }
-        let my_pid = st.tasks.get(&self.tid).unwrap().process;
-        let t = st.tasks.get_mut(&target).ok_or(OsError::NoSuchTask)?;
-        if t.process != my_pid {
-            return Err(OsError::PermissionDenied(
-                "set_task_labels_tcb is limited to the caller's address space",
-            ));
-        }
-        t.security.labels = labels;
-        Ok(())
+        self.kernel.syscall(|st| {
+            let sec = Kernel::task_sec(st, self.tid)?;
+            if !sec.labels.integrity().contains(self.kernel.tcb_tag()) {
+                return Err(OsError::PermissionDenied(
+                    "set_task_labels_tcb requires the tcb integrity tag",
+                ));
+            }
+            let my_pid = st.tasks.get(&self.tid).ok_or(OsError::NoSuchTask)?.process;
+            let t = st.tasks.get(&target).ok_or(OsError::NoSuchTask)?;
+            if t.process != my_pid {
+                return Err(OsError::PermissionDenied(
+                    "set_task_labels_tcb is limited to the caller's address space",
+                ));
+            }
+            st.task_mut(target)?.security.labels = labels;
+            Ok(())
+        })
     }
 
     /// `drop_capabilities`: permanently removes capabilities from the
@@ -161,13 +182,16 @@ impl TaskHandle {
     /// # Errors
     /// Fails if the task has exited.
     pub fn drop_capabilities(&self, caps: &[Capability]) -> OsResult<()> {
-        let mut st = self.kernel.state.lock();
-        let t =
-            st.tasks.get_mut(&self.tid).filter(|t| t.alive).ok_or(OsError::NoSuchTask)?;
-        for &c in caps {
-            t.security.caps_mut().revoke(c);
-        }
-        Ok(())
+        self.kernel.syscall(|st| {
+            if st.tasks.get(&self.tid).filter(|t| t.alive).is_none() {
+                return Err(OsError::NoSuchTask);
+            }
+            let t = st.task_mut(self.tid)?;
+            for &c in caps {
+                t.security.caps_mut().revoke(c);
+            }
+            Ok(())
+        })
     }
 
     /// Re-grants capabilities to a thread in the caller's address space.
@@ -178,25 +202,28 @@ impl TaskHandle {
     /// [`OsError::PermissionDenied`] without the `tcb` tag or across
     /// address spaces.
     pub fn grant_capabilities_tcb(&self, target: TaskId, caps: &CapSet) -> OsResult<()> {
-        let mut st = self.kernel.state.lock();
-        let sec = Kernel::task_sec(&st, self.tid)?;
-        if !sec.labels.integrity().contains(self.kernel.tcb_tag()) {
-            return Err(OsError::PermissionDenied(
-                "grant_capabilities_tcb requires the tcb integrity tag",
-            ));
-        }
-        let my_pid = st.tasks.get(&self.tid).unwrap().process;
-        let t = st.tasks.get_mut(&target).ok_or(OsError::NoSuchTask)?;
-        if t.process != my_pid {
-            return Err(OsError::PermissionDenied(
-                "grant_capabilities_tcb is limited to the caller's address space",
-            ));
-        }
-        t.security.caps = std::sync::Arc::new(t.security.caps.union(caps));
-        Ok(())
+        self.kernel.syscall(|st| {
+            let sec = Kernel::task_sec(st, self.tid)?;
+            if !sec.labels.integrity().contains(self.kernel.tcb_tag()) {
+                return Err(OsError::PermissionDenied(
+                    "grant_capabilities_tcb requires the tcb integrity tag",
+                ));
+            }
+            let my_pid = st.tasks.get(&self.tid).ok_or(OsError::NoSuchTask)?.process;
+            let t = st.tasks.get(&target).ok_or(OsError::NoSuchTask)?;
+            if t.process != my_pid {
+                return Err(OsError::PermissionDenied(
+                    "grant_capabilities_tcb is limited to the caller's address space",
+                ));
+            }
+            let t = st.task_mut(target)?;
+            t.security.caps = std::sync::Arc::new(t.security.caps.union(caps));
+            Ok(())
+        })
     }
 
-    /// Current labels of the calling task.
+    /// Current labels of the calling task. (Read-only: bypasses the
+    /// transaction machinery, never fires failpoints.)
     ///
     /// # Errors
     /// Fails if the task has exited.
@@ -205,7 +232,8 @@ impl TaskHandle {
         Ok(Kernel::task_sec(&st, self.tid)?.labels)
     }
 
-    /// Current capability set of the calling task.
+    /// Current capability set of the calling task. (Read-only: bypasses
+    /// the transaction machinery, never fires failpoints.)
     ///
     /// # Errors
     /// Fails if the task has exited.
@@ -223,32 +251,39 @@ impl TaskHandle {
     /// [`OsError::BadFd`] if `fd` is not a writable pipe end;
     /// [`OsError::PermissionDenied`] if the sender lacks the capability.
     pub fn write_capability(&self, cap: Capability, fd: Fd) -> OsResult<()> {
-        let mut st = self.kernel.state.lock();
-        let sec = Kernel::task_sec(&st, self.tid)?;
-        if !sec.caps.has(cap) {
-            return Err(OsError::PermissionDenied(
-                "cannot send a capability the sender does not hold",
-            ));
-        }
-        let pid = st.tasks.get(&self.tid).unwrap().process;
-        let file =
-            st.processes.get(&pid).unwrap().fds.get(fd).cloned().ok_or(OsError::BadFd)?;
-        if file.pipe_end != Some(PipeEnd::Write) {
-            return Err(OsError::BadFd);
-        }
-        let pipe_labels = Kernel::inode_labels(&st, file.inode)?;
-        st.hook_calls += 1;
-        match self.kernel.module.cap_transfer(&sec, &pipe_labels) {
-            DeliveryVerdict::Deliver => {
-                if let Some(inode) = st.inodes.get_mut(&file.inode) {
-                    if let InodeKind::Pipe { buffer } = &mut inode.kind {
+        self.kernel.syscall(|st| {
+            let sec = Kernel::task_sec(st, self.tid)?;
+            if !sec.caps.has(cap) {
+                return Err(OsError::PermissionDenied(
+                    "cannot send a capability the sender does not hold",
+                ));
+            }
+            let pid = st.tasks.get(&self.tid).ok_or(OsError::NoSuchTask)?.process;
+            let file = st
+                .processes
+                .get(&pid)
+                .ok_or(OsError::Internal)?
+                .fds
+                .get(fd)
+                .cloned()
+                .ok_or(OsError::BadFd)?;
+            if file.pipe_end != Some(PipeEnd::Write) {
+                return Err(OsError::BadFd);
+            }
+            let pipe_labels = Kernel::inode_labels(st, file.inode)?;
+            st.count_hook();
+            match self.kernel.module.cap_transfer(&sec, &pipe_labels) {
+                DeliveryVerdict::Deliver => {
+                    if let InodeKind::Pipe { buffer } =
+                        &mut st.inode_mut(file.inode)?.kind
+                    {
                         let _ = buffer.push_cap(cap);
                     }
+                    Ok(())
                 }
-                Ok(())
+                DeliveryVerdict::SilentDrop => Ok(()),
             }
-            DeliveryVerdict::SilentDrop => Ok(()),
-        }
+        })
     }
 
     /// Receives a capability from a pipe fd, if one is at the head of the
@@ -258,28 +293,32 @@ impl TaskHandle {
     /// [`OsError::BadFd`] if `fd` is not a readable pipe end; a flow
     /// error if the pipe's labels may not flow to the receiver.
     pub fn read_capability(&self, fd: Fd) -> OsResult<Option<Capability>> {
-        let mut st = self.kernel.state.lock();
-        let sec = Kernel::task_sec(&st, self.tid)?;
-        let pid = st.tasks.get(&self.tid).unwrap().process;
-        let file =
-            st.processes.get(&pid).unwrap().fds.get(fd).cloned().ok_or(OsError::BadFd)?;
-        if file.pipe_end != Some(PipeEnd::Read) {
-            return Err(OsError::BadFd);
-        }
-        let pipe_labels = Kernel::inode_labels(&st, file.inode)?;
-        st.hook_calls += 1;
-        self.kernel.module.cap_receive(&sec, &pipe_labels)?;
-        let cap = match st.inodes.get_mut(&file.inode) {
-            Some(inode) => match &mut inode.kind {
+        self.kernel.syscall(|st| {
+            let sec = Kernel::task_sec(st, self.tid)?;
+            let pid = st.tasks.get(&self.tid).ok_or(OsError::NoSuchTask)?.process;
+            let file = st
+                .processes
+                .get(&pid)
+                .ok_or(OsError::Internal)?
+                .fds
+                .get(fd)
+                .cloned()
+                .ok_or(OsError::BadFd)?;
+            if file.pipe_end != Some(PipeEnd::Read) {
+                return Err(OsError::BadFd);
+            }
+            let pipe_labels = Kernel::inode_labels(st, file.inode)?;
+            st.count_hook();
+            self.kernel.module.cap_receive(&sec, &pipe_labels)?;
+            let cap = match &mut st.inode_mut(file.inode)?.kind {
                 InodeKind::Pipe { buffer } => buffer.pop_cap(),
                 _ => None,
-            },
-            None => None,
-        };
-        if let Some(c) = cap {
-            st.tasks.get_mut(&self.tid).unwrap().security.caps_mut().grant(c);
-        }
-        Ok(cap)
+            };
+            if let Some(c) = cap {
+                st.task_mut(self.tid)?.security.caps_mut().grant(c);
+            }
+            Ok(cap)
+        })
     }
 
     /// Persists the caller's current capabilities as the user's
@@ -288,12 +327,14 @@ impl TaskHandle {
     /// # Errors
     /// Fails if the task has exited.
     pub fn save_persistent_caps(&self) -> OsResult<()> {
-        let mut st = self.kernel.state.lock();
-        let t = st.tasks.get(&self.tid).filter(|t| t.alive).ok_or(OsError::NoSuchTask)?;
-        let user = t.user;
-        let caps = (*t.security.caps).clone();
-        st.persistent_caps.insert(user, caps);
-        Ok(())
+        self.kernel.syscall(|st| {
+            let t =
+                st.tasks.get(&self.tid).filter(|t| t.alive).ok_or(OsError::NoSuchTask)?;
+            let user = t.user;
+            let caps = (*t.security.caps).clone();
+            st.set_persistent_caps(user, caps);
+            Ok(())
+        })
     }
 
     // ----- files ----------------------------------------------------------
@@ -338,39 +379,41 @@ impl TaskHandle {
     }
 
     fn create_inode(&self, path: &str, labels: SecPair, dir: bool) -> OsResult<Fd> {
-        let mut st = self.kernel.state.lock();
-        let sec = Kernel::task_sec(&st, self.tid)?;
-        let r = self.kernel.resolve(&mut st, self.tid, path)?;
-        if r.inode.is_some() {
-            return Err(OsError::Exists);
-        }
-        let parent =
-            r.parent.ok_or(OsError::InvalidArgument("path names a directory"))?;
-        let parent_labels = Kernel::inode_labels(&st, parent)?;
-        st.hook_calls += 1;
-        self.kernel.module.inode_create(&sec, &parent_labels, &labels)?;
-        let kind = if dir {
-            InodeKind::Dir { entries: BTreeMap::new() }
-        } else {
-            InodeKind::File { data: Vec::new() }
-        };
-        let id = Kernel::alloc_inode(&mut st, kind, labels);
-        if let InodeKind::Dir { entries } = &mut st.inodes.get_mut(&parent).unwrap().kind
-        {
-            entries.insert(r.name, id);
-        }
-        if dir {
-            return Ok(Fd(u32::MAX)); // sentinel, discarded by mkdir_labeled
-        }
-        let pid = st.tasks.get(&self.tid).unwrap().process;
-        let fd = st.processes.get_mut(&pid).unwrap().fds.insert(OpenFile {
-            inode: id,
-            mode: OpenMode::ReadWrite,
-            offset: 0,
-            pipe_end: None,
-            socket_end: None,
-        });
-        Ok(fd)
+        self.kernel.syscall(|st| {
+            let sec = Kernel::task_sec(st, self.tid)?;
+            let r = self.kernel.resolve(st, self.tid, path)?;
+            if r.inode.is_some() {
+                return Err(OsError::Exists);
+            }
+            let parent =
+                r.parent.ok_or(OsError::InvalidArgument("path names a directory"))?;
+            let parent_labels = Kernel::inode_labels(st, parent)?;
+            st.count_hook();
+            self.kernel.module.inode_create(&sec, &parent_labels, &labels)?;
+            let kind = if dir {
+                InodeKind::Dir { entries: BTreeMap::new() }
+            } else {
+                InodeKind::File { data: Vec::new() }
+            };
+            let id = st.alloc_inode(kind, labels)?;
+            if let InodeKind::Dir { entries } = &mut st.inode_mut(parent)?.kind {
+                entries.insert(r.name, id);
+            }
+            if dir {
+                return Ok(Fd(u32::MAX)); // sentinel, discarded by mkdir_labeled
+            }
+            let pid = st.tasks.get(&self.tid).ok_or(OsError::NoSuchTask)?.process;
+            st.fd_insert(
+                pid,
+                OpenFile {
+                    inode: id,
+                    mode: OpenMode::ReadWrite,
+                    offset: 0,
+                    pipe_end: None,
+                    socket_end: None,
+                },
+            )
+        })
     }
 
     /// Opens an existing file. The open itself checks `inode_permission`
@@ -382,28 +425,31 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::NotFound`]; [`OsError::IsADirectory`]; hook vetoes.
     pub fn open(&self, path: &str, mode: OpenMode) -> OsResult<Fd> {
-        let mut st = self.kernel.state.lock();
-        let sec = Kernel::task_sec(&st, self.tid)?;
-        let r = self.kernel.resolve(&mut st, self.tid, path)?;
-        let ino = r.inode.ok_or(OsError::NotFound)?;
-        if st.inodes.get(&ino).map(|i| i.kind.is_dir()).unwrap_or(false) {
-            return Err(OsError::IsADirectory);
-        }
-        let mask = match mode {
-            OpenMode::Read => Access::Read,
-            OpenMode::Write => Access::Write,
-            OpenMode::ReadWrite => Access::ReadWrite,
-        };
-        self.kernel.hook_inode_permission(&mut st, &sec, ino, mask)?;
-        let pid = st.tasks.get(&self.tid).unwrap().process;
-        let fd = st.processes.get_mut(&pid).unwrap().fds.insert(OpenFile {
-            inode: ino,
-            mode,
-            offset: 0,
-            pipe_end: None,
-            socket_end: None,
-        });
-        Ok(fd)
+        self.kernel.syscall(|st| {
+            let sec = Kernel::task_sec(st, self.tid)?;
+            let r = self.kernel.resolve(st, self.tid, path)?;
+            let ino = r.inode.ok_or(OsError::NotFound)?;
+            if st.inodes.get(&ino).map(|i| i.kind.is_dir()).unwrap_or(false) {
+                return Err(OsError::IsADirectory);
+            }
+            let mask = match mode {
+                OpenMode::Read => Access::Read,
+                OpenMode::Write => Access::Write,
+                OpenMode::ReadWrite => Access::ReadWrite,
+            };
+            self.kernel.hook_inode_permission(st, &sec, ino, mask)?;
+            let pid = st.tasks.get(&self.tid).ok_or(OsError::NoSuchTask)?.process;
+            st.fd_insert(
+                pid,
+                OpenFile {
+                    inode: ino,
+                    mode,
+                    offset: 0,
+                    pipe_end: None,
+                    socket_end: None,
+                },
+            )
+        })
     }
 
     /// Closes a descriptor.
@@ -411,26 +457,26 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::BadFd`] if not open.
     pub fn close(&self, fd: Fd) -> OsResult<()> {
-        let mut st = self.kernel.state.lock();
-        let pid = st
-            .tasks
-            .get(&self.tid)
-            .filter(|t| t.alive)
-            .ok_or(OsError::NoSuchTask)?
-            .process;
-        let file =
-            st.processes.get_mut(&pid).unwrap().fds.remove(fd).ok_or(OsError::BadFd)?;
-        if let Some(end) = file.pipe_end {
-            if let Some(inode) = st.inodes.get_mut(&file.inode) {
-                if let InodeKind::Pipe { buffer } = &mut inode.kind {
-                    match end {
-                        PipeEnd::Read => buffer.drop_reader(),
-                        PipeEnd::Write => buffer.drop_writer(),
+        self.kernel.syscall(|st| {
+            let pid = st
+                .tasks
+                .get(&self.tid)
+                .filter(|t| t.alive)
+                .ok_or(OsError::NoSuchTask)?
+                .process;
+            let file = st.proc_mut(pid)?.fds.remove(fd).ok_or(OsError::BadFd)?;
+            if let Some(end) = file.pipe_end {
+                if let Ok(inode) = st.inode_mut(file.inode) {
+                    if let InodeKind::Pipe { buffer } = &mut inode.kind {
+                        match end {
+                            PipeEnd::Read => buffer.drop_reader(),
+                            PipeEnd::Write => buffer.drop_writer(),
+                        }
                     }
                 }
             }
-        }
-        Ok(())
+            Ok(())
+        })
     }
 
     /// Reads up to `max` bytes from an open descriptor.
@@ -442,63 +488,73 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::BadFd`]; flow vetoes from `file_permission`.
     pub fn read(&self, fd: Fd, max: usize) -> OsResult<Vec<u8>> {
-        let mut st = self.kernel.state.lock();
-        let sec = Kernel::task_sec(&st, self.tid)?;
-        let pid = st.tasks.get(&self.tid).unwrap().process;
-        let file =
-            st.processes.get(&pid).unwrap().fds.get(fd).cloned().ok_or(OsError::BadFd)?;
-        if !file.mode.readable() {
-            return Err(OsError::BadFd);
-        }
-        let labels = Kernel::inode_labels(&st, file.inode)?;
-        st.hook_calls += 1;
-        match file.pipe_end {
-            Some(PipeEnd::Read) => {
-                self.kernel.module.pipe_read(&sec, &labels)?;
-                let data = match &mut st.inodes.get_mut(&file.inode).unwrap().kind {
-                    InodeKind::Pipe { buffer } => buffer.pop_bytes(max),
-                    _ => Vec::new(),
-                };
-                Ok(data)
+        self.kernel.syscall(|st| {
+            let sec = Kernel::task_sec(st, self.tid)?;
+            let pid = st.tasks.get(&self.tid).ok_or(OsError::NoSuchTask)?.process;
+            let file = st
+                .processes
+                .get(&pid)
+                .ok_or(OsError::Internal)?
+                .fds
+                .get(fd)
+                .cloned()
+                .ok_or(OsError::BadFd)?;
+            if !file.mode.readable() {
+                return Err(OsError::BadFd);
             }
-            Some(PipeEnd::Write) => Err(OsError::BadFd),
-            None if file.socket_end.is_some() => {
-                // Socket read: nonblocking, label-mediated like a pipe.
-                self.kernel.module.pipe_read(&sec, &labels)?;
-                let end = file.socket_end.unwrap();
-                let data = match &mut st.inodes.get_mut(&file.inode).unwrap().kind {
-                    InodeKind::Socket { ab, ba } => match end {
-                        SocketEnd::A => ba.pop_bytes(max),
-                        SocketEnd::B => ab.pop_bytes(max),
-                    },
-                    _ => Vec::new(),
-                };
-                Ok(data)
-            }
-            None => {
-                self.kernel.module.file_permission(&sec, &labels, Access::Read)?;
-                let inode = st.inodes.get(&file.inode).ok_or(OsError::BadFd)?;
-                let data = match &inode.kind {
-                    InodeKind::File { data } => {
-                        let start = (file.offset as usize).min(data.len());
-                        let end = (start + max).min(data.len());
-                        data[start..end].to_vec()
-                    }
-                    InodeKind::NullDevice => Vec::new(),
-                    InodeKind::Dir { .. } => return Err(OsError::IsADirectory),
-                    InodeKind::Symlink { .. } => {
-                        return Err(OsError::Unsupported("read on a symlink fd"))
-                    }
-                    InodeKind::Pipe { .. } | InodeKind::Socket { .. } => unreachable!(),
-                };
-                let n = data.len() as u64;
-                let pid = st.tasks.get(&self.tid).unwrap().process;
-                if let Some(f) = st.processes.get_mut(&pid).unwrap().fds.get_mut(fd) {
-                    f.offset += n;
+            let labels = Kernel::inode_labels(st, file.inode)?;
+            st.count_hook();
+            match file.pipe_end {
+                Some(PipeEnd::Read) => {
+                    self.kernel.module.pipe_read(&sec, &labels)?;
+                    let data = match &mut st.inode_mut(file.inode)?.kind {
+                        InodeKind::Pipe { buffer } => buffer.pop_bytes(max),
+                        _ => Vec::new(),
+                    };
+                    Ok(data)
                 }
-                Ok(data)
+                Some(PipeEnd::Write) => Err(OsError::BadFd),
+                None if file.socket_end.is_some() => {
+                    // Socket read: nonblocking, label-mediated like a pipe.
+                    self.kernel.module.pipe_read(&sec, &labels)?;
+                    let data =
+                        match (&mut st.inode_mut(file.inode)?.kind, file.socket_end) {
+                            (InodeKind::Socket { ab, ba }, Some(end)) => match end {
+                                SocketEnd::A => ba.pop_bytes(max),
+                                SocketEnd::B => ab.pop_bytes(max),
+                            },
+                            _ => Vec::new(),
+                        };
+                    Ok(data)
+                }
+                None => {
+                    self.kernel.module.file_permission(&sec, &labels, Access::Read)?;
+                    let inode = st.inodes.get(&file.inode).ok_or(OsError::BadFd)?;
+                    let data = match &inode.kind {
+                        InodeKind::File { data } => {
+                            let start = (file.offset as usize).min(data.len());
+                            let end = (start + max).min(data.len());
+                            data[start..end].to_vec()
+                        }
+                        InodeKind::NullDevice => Vec::new(),
+                        InodeKind::Dir { .. } => return Err(OsError::IsADirectory),
+                        InodeKind::Symlink { .. } => {
+                            return Err(OsError::Unsupported("read on a symlink fd"))
+                        }
+                        // A pipe/socket inode behind a plain fd is an
+                        // internal invariant failure; report it fail-closed.
+                        InodeKind::Pipe { .. } | InodeKind::Socket { .. } => {
+                            return Err(OsError::Internal)
+                        }
+                    };
+                    let n = data.len() as u64;
+                    if n > 0 {
+                        st.fd_set_offset(pid, fd, file.offset + n)?;
+                    }
+                    Ok(data)
+                }
             }
-        }
+        })
     }
 
     /// Writes bytes at the descriptor's offset.
@@ -511,74 +567,75 @@ impl TaskHandle {
     /// [`OsError::BadFd`]; flow vetoes from `file_permission` (regular
     /// files only — pipe label failures drop silently).
     pub fn write(&self, fd: Fd, data: &[u8]) -> OsResult<usize> {
-        let mut st = self.kernel.state.lock();
-        let sec = Kernel::task_sec(&st, self.tid)?;
-        let pid = st.tasks.get(&self.tid).unwrap().process;
-        let file =
-            st.processes.get(&pid).unwrap().fds.get(fd).cloned().ok_or(OsError::BadFd)?;
-        if !file.mode.writable() {
-            return Err(OsError::BadFd);
-        }
-        let labels = Kernel::inode_labels(&st, file.inode)?;
-        st.hook_calls += 1;
-        match file.pipe_end {
-            Some(PipeEnd::Write) => {
-                match self.kernel.module.pipe_write(&sec, &labels) {
-                    DeliveryVerdict::Deliver => {
-                        if let InodeKind::Pipe { buffer } =
-                            &mut st.inodes.get_mut(&file.inode).unwrap().kind
-                        {
-                            let _ = buffer.push_bytes(data); // full ⇒ silent drop
-                        }
-                    }
-                    DeliveryVerdict::SilentDrop => {}
-                }
-                Ok(data.len())
+        self.kernel.syscall(|st| {
+            let sec = Kernel::task_sec(st, self.tid)?;
+            let pid = st.tasks.get(&self.tid).ok_or(OsError::NoSuchTask)?.process;
+            let file = st
+                .processes
+                .get(&pid)
+                .ok_or(OsError::Internal)?
+                .fds
+                .get(fd)
+                .cloned()
+                .ok_or(OsError::BadFd)?;
+            if !file.mode.writable() {
+                return Err(OsError::BadFd);
             }
-            Some(PipeEnd::Read) => Err(OsError::BadFd),
-            None if file.socket_end.is_some() => {
-                // Socket write: deliver or silently drop (pipe semantics).
-                match self.kernel.module.pipe_write(&sec, &labels) {
-                    DeliveryVerdict::Deliver => {
-                        let end = file.socket_end.unwrap();
-                        if let InodeKind::Socket { ab, ba } =
-                            &mut st.inodes.get_mut(&file.inode).unwrap().kind
-                        {
-                            let _ = match end {
-                                SocketEnd::A => ab.push_bytes(data),
-                                SocketEnd::B => ba.push_bytes(data),
-                            };
+            let labels = Kernel::inode_labels(st, file.inode)?;
+            st.count_hook();
+            match file.pipe_end {
+                Some(PipeEnd::Write) => {
+                    match self.kernel.module.pipe_write(&sec, &labels) {
+                        DeliveryVerdict::Deliver => {
+                            if let InodeKind::Pipe { buffer } =
+                                &mut st.inode_mut(file.inode)?.kind
+                            {
+                                let _ = buffer.push_bytes(data); // full ⇒ silent drop
+                            }
                         }
+                        DeliveryVerdict::SilentDrop => {}
                     }
-                    DeliveryVerdict::SilentDrop => {}
+                    Ok(data.len())
                 }
-                Ok(data.len())
-            }
-            None => {
-                self.kernel.module.file_permission(&sec, &labels, Access::Write)?;
-                let inode = st.inodes.get_mut(&file.inode).ok_or(OsError::BadFd)?;
-                match &mut inode.kind {
-                    InodeKind::File { data: contents } => {
-                        let off = file.offset as usize;
-                        if contents.len() < off + data.len() {
-                            contents.resize(off + data.len(), 0);
+                Some(PipeEnd::Read) => Err(OsError::BadFd),
+                None if file.socket_end.is_some() => {
+                    // Socket write: deliver or silently drop (pipe semantics).
+                    match self.kernel.module.pipe_write(&sec, &labels) {
+                        DeliveryVerdict::Deliver => {
+                            if let (InodeKind::Socket { ab, ba }, Some(end)) =
+                                (&mut st.inode_mut(file.inode)?.kind, file.socket_end)
+                            {
+                                let _ = match end {
+                                    SocketEnd::A => ab.push_bytes(data),
+                                    SocketEnd::B => ba.push_bytes(data),
+                                };
+                            }
                         }
-                        contents[off..off + data.len()].copy_from_slice(data);
+                        DeliveryVerdict::SilentDrop => {}
                     }
-                    InodeKind::NullDevice => {}
-                    InodeKind::Dir { .. } => return Err(OsError::IsADirectory),
-                    InodeKind::Symlink { .. } => {
-                        return Err(OsError::Unsupported("write on a symlink fd"))
+                    Ok(data.len())
+                }
+                None => {
+                    self.kernel.module.file_permission(&sec, &labels, Access::Write)?;
+                    match st.inodes.get(&file.inode).map(|i| &i.kind) {
+                        Some(InodeKind::File { .. }) => {
+                            st.write_file_data(file.inode, file.offset as usize, data)?;
+                        }
+                        Some(InodeKind::NullDevice) => {}
+                        Some(InodeKind::Dir { .. }) => return Err(OsError::IsADirectory),
+                        Some(InodeKind::Symlink { .. }) => {
+                            return Err(OsError::Unsupported("write on a symlink fd"))
+                        }
+                        Some(InodeKind::Pipe { .. }) | Some(InodeKind::Socket { .. }) => {
+                            return Err(OsError::Internal)
+                        }
+                        None => return Err(OsError::BadFd),
                     }
-                    InodeKind::Pipe { .. } | InodeKind::Socket { .. } => unreachable!(),
+                    st.fd_set_offset(pid, fd, file.offset + data.len() as u64)?;
+                    Ok(data.len())
                 }
-                let pid = st.tasks.get(&self.tid).unwrap().process;
-                if let Some(f) = st.processes.get_mut(&pid).unwrap().fds.get_mut(fd) {
-                    f.offset += data.len() as u64;
-                }
-                Ok(data.len())
             }
-        }
+        })
     }
 
     /// `stat`: metadata of the inode at `path`. Requires read permission
@@ -589,21 +646,22 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::NotFound`]; hook vetoes.
     pub fn stat(&self, path: &str) -> OsResult<Metadata> {
-        let mut st = self.kernel.state.lock();
-        let sec = Kernel::task_sec(&st, self.tid)?;
-        let r = self.kernel.resolve(&mut st, self.tid, path)?;
-        let ino = r.inode.ok_or(OsError::NotFound)?;
-        self.kernel.hook_inode_permission(&mut st, &sec, ino, Access::Read)?;
-        let inode = st.inodes.get(&ino).unwrap();
-        Ok(Metadata {
-            inode: ino,
-            is_dir: inode.kind.is_dir(),
-            size: match &inode.kind {
-                InodeKind::File { data } => data.len() as u64,
-                _ => 0,
-            },
-            labels: inode.labels().clone(),
-            nlink: inode.nlink,
+        self.kernel.syscall(|st| {
+            let sec = Kernel::task_sec(st, self.tid)?;
+            let r = self.kernel.resolve(st, self.tid, path)?;
+            let ino = r.inode.ok_or(OsError::NotFound)?;
+            self.kernel.hook_inode_permission(st, &sec, ino, Access::Read)?;
+            let inode = st.inodes.get(&ino).ok_or(OsError::Internal)?;
+            Ok(Metadata {
+                inode: ino,
+                is_dir: inode.kind.is_dir(),
+                size: match &inode.kind {
+                    InodeKind::File { data } => data.len() as u64,
+                    _ => 0,
+                },
+                labels: inode.labels().clone(),
+                nlink: inode.nlink,
+            })
         })
     }
 
@@ -613,22 +671,23 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::NotFound`]; hook vetoes.
     pub fn lstat(&self, path: &str) -> OsResult<Metadata> {
-        let mut st = self.kernel.state.lock();
-        let sec = Kernel::task_sec(&st, self.tid)?;
-        let r = self.kernel.resolve_nofollow(&mut st, self.tid, path)?;
-        let ino = r.inode.ok_or(OsError::NotFound)?;
-        self.kernel.hook_inode_permission(&mut st, &sec, ino, Access::Read)?;
-        let inode = st.inodes.get(&ino).unwrap();
-        Ok(Metadata {
-            inode: ino,
-            is_dir: inode.kind.is_dir(),
-            size: match &inode.kind {
-                InodeKind::File { data } => data.len() as u64,
-                InodeKind::Symlink { target } => target.len() as u64,
-                _ => 0,
-            },
-            labels: inode.labels().clone(),
-            nlink: inode.nlink,
+        self.kernel.syscall(|st| {
+            let sec = Kernel::task_sec(st, self.tid)?;
+            let r = self.kernel.resolve_nofollow(st, self.tid, path)?;
+            let ino = r.inode.ok_or(OsError::NotFound)?;
+            self.kernel.hook_inode_permission(st, &sec, ino, Access::Read)?;
+            let inode = st.inodes.get(&ino).ok_or(OsError::Internal)?;
+            Ok(Metadata {
+                inode: ino,
+                is_dir: inode.kind.is_dir(),
+                size: match &inode.kind {
+                    InodeKind::File { data } => data.len() as u64,
+                    InodeKind::Symlink { target } => target.len() as u64,
+                    _ => 0,
+                },
+                labels: inode.labels().clone(),
+                nlink: inode.nlink,
+            })
         })
     }
 
@@ -640,10 +699,11 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::NotFound`]; traversal vetoes.
     pub fn get_labels(&self, path: &str) -> OsResult<SecPair> {
-        let mut st = self.kernel.state.lock();
-        let r = self.kernel.resolve(&mut st, self.tid, path)?;
-        let ino = r.inode.ok_or(OsError::NotFound)?;
-        Kernel::inode_labels(&st, ino)
+        self.kernel.syscall(|st| {
+            let r = self.kernel.resolve(st, self.tid, path)?;
+            let ino = r.inode.ok_or(OsError::NotFound)?;
+            Kernel::inode_labels(st, ino)
+        })
     }
 
     /// Removes the name at `path` (file or empty directory). The name is
@@ -653,26 +713,28 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::NotFound`]; [`OsError::NotEmpty`]; hook vetoes.
     pub fn unlink(&self, path: &str) -> OsResult<()> {
-        let mut st = self.kernel.state.lock();
-        let sec = Kernel::task_sec(&st, self.tid)?;
-        let r = self.kernel.resolve(&mut st, self.tid, path)?;
-        let ino = r.inode.ok_or(OsError::NotFound)?;
-        let parent = r.parent.ok_or(OsError::InvalidArgument("cannot unlink a root"))?;
-        if let InodeKind::Dir { entries } = &st.inodes.get(&ino).unwrap().kind {
-            if !entries.is_empty() {
-                return Err(OsError::NotEmpty);
+        self.kernel.syscall(|st| {
+            let sec = Kernel::task_sec(st, self.tid)?;
+            let r = self.kernel.resolve(st, self.tid, path)?;
+            let ino = r.inode.ok_or(OsError::NotFound)?;
+            let parent =
+                r.parent.ok_or(OsError::InvalidArgument("cannot unlink a root"))?;
+            if let Some(InodeKind::Dir { entries }) = st.inodes.get(&ino).map(|i| &i.kind)
+            {
+                if !entries.is_empty() {
+                    return Err(OsError::NotEmpty);
+                }
             }
-        }
-        let parent_labels = Kernel::inode_labels(&st, parent)?;
-        let victim_labels = Kernel::inode_labels(&st, ino)?;
-        st.hook_calls += 1;
-        self.kernel.module.inode_unlink(&sec, &parent_labels, &victim_labels)?;
-        if let InodeKind::Dir { entries } = &mut st.inodes.get_mut(&parent).unwrap().kind
-        {
-            entries.remove(&r.name);
-        }
-        st.inodes.remove(&ino);
-        Ok(())
+            let parent_labels = Kernel::inode_labels(st, parent)?;
+            let victim_labels = Kernel::inode_labels(st, ino)?;
+            st.count_hook();
+            self.kernel.module.inode_unlink(&sec, &parent_labels, &victim_labels)?;
+            if let InodeKind::Dir { entries } = &mut st.inode_mut(parent)?.kind {
+                entries.remove(&r.name);
+            }
+            st.remove_inode(ino);
+            Ok(())
+        })
     }
 
     /// Lists the names in a directory (a read of the directory).
@@ -680,15 +742,17 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::NotADirectory`]; hook vetoes.
     pub fn readdir(&self, path: &str) -> OsResult<Vec<String>> {
-        let mut st = self.kernel.state.lock();
-        let sec = Kernel::task_sec(&st, self.tid)?;
-        let r = self.kernel.resolve(&mut st, self.tid, path)?;
-        let ino = r.inode.ok_or(OsError::NotFound)?;
-        self.kernel.hook_inode_permission(&mut st, &sec, ino, Access::Read)?;
-        match &st.inodes.get(&ino).unwrap().kind {
-            InodeKind::Dir { entries } => Ok(entries.keys().cloned().collect()),
-            _ => Err(OsError::NotADirectory),
-        }
+        self.kernel.syscall(|st| {
+            let sec = Kernel::task_sec(st, self.tid)?;
+            let r = self.kernel.resolve(st, self.tid, path)?;
+            let ino = r.inode.ok_or(OsError::NotFound)?;
+            self.kernel.hook_inode_permission(st, &sec, ino, Access::Read)?;
+            match st.inodes.get(&ino).map(|i| &i.kind) {
+                Some(InodeKind::Dir { entries }) => Ok(entries.keys().cloned().collect()),
+                Some(_) => Err(OsError::NotADirectory),
+                None => Err(OsError::Internal),
+            }
+        })
     }
 
     /// Changes the calling process's working directory.
@@ -696,15 +760,16 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::NotADirectory`]; traversal vetoes.
     pub fn chdir(&self, path: &str) -> OsResult<()> {
-        let mut st = self.kernel.state.lock();
-        let r = self.kernel.resolve(&mut st, self.tid, path)?;
-        let ino = r.inode.ok_or(OsError::NotFound)?;
-        if !st.inodes.get(&ino).unwrap().kind.is_dir() {
-            return Err(OsError::NotADirectory);
-        }
-        let pid = st.tasks.get(&self.tid).unwrap().process;
-        st.processes.get_mut(&pid).unwrap().cwd = ino;
-        Ok(())
+        self.kernel.syscall(|st| {
+            let r = self.kernel.resolve(st, self.tid, path)?;
+            let ino = r.inode.ok_or(OsError::NotFound)?;
+            if !st.inodes.get(&ino).map(|i| i.kind.is_dir()).unwrap_or(false) {
+                return Err(OsError::NotADirectory);
+            }
+            let pid = st.tasks.get(&self.tid).ok_or(OsError::NoSuchTask)?.process;
+            st.proc_mut(pid)?.cwd = ino;
+            Ok(())
+        })
     }
 
     // ----- pipes ----------------------------------------------------------
@@ -713,32 +778,40 @@ impl TaskHandle {
     /// Returns `(read_end, write_end)`.
     ///
     /// # Errors
-    /// Fails if the task has exited.
+    /// Fails if the task has exited; [`OsError::QuotaExceeded`] on
+    /// inode/fd exhaustion (the whole call rolls back — no half-made
+    /// pipe is left behind).
     pub fn pipe(&self) -> OsResult<(Fd, Fd)> {
-        let mut st = self.kernel.state.lock();
-        let sec = Kernel::task_sec(&st, self.tid)?;
-        let ino = Kernel::alloc_inode(
-            &mut st,
-            InodeKind::Pipe { buffer: PipeBuffer::new(PIPE_CAPACITY) },
-            sec.labels.clone(),
-        );
-        let pid = st.tasks.get(&self.tid).unwrap().process;
-        let fds = &mut st.processes.get_mut(&pid).unwrap().fds;
-        let r = fds.insert(OpenFile {
-            inode: ino,
-            mode: OpenMode::Read,
-            offset: 0,
-            pipe_end: Some(PipeEnd::Read),
-            socket_end: None,
-        });
-        let w = fds.insert(OpenFile {
-            inode: ino,
-            mode: OpenMode::Write,
-            offset: 0,
-            pipe_end: Some(PipeEnd::Write),
-            socket_end: None,
-        });
-        Ok((r, w))
+        self.kernel.syscall(|st| {
+            let sec = Kernel::task_sec(st, self.tid)?;
+            let capacity = self.kernel.quotas.pipe_capacity;
+            let ino = st.alloc_inode(
+                InodeKind::Pipe { buffer: PipeBuffer::new(capacity) },
+                sec.labels.clone(),
+            )?;
+            let pid = st.tasks.get(&self.tid).ok_or(OsError::NoSuchTask)?.process;
+            let r = st.fd_insert(
+                pid,
+                OpenFile {
+                    inode: ino,
+                    mode: OpenMode::Read,
+                    offset: 0,
+                    pipe_end: Some(PipeEnd::Read),
+                    socket_end: None,
+                },
+            )?;
+            let w = st.fd_insert(
+                pid,
+                OpenFile {
+                    inode: ino,
+                    mode: OpenMode::Write,
+                    offset: 0,
+                    pipe_end: Some(PipeEnd::Write),
+                    socket_end: None,
+                },
+            )?;
+            Ok((r, w))
+        })
     }
 
     /// Creates a connected socket pair labeled with the calling thread's
@@ -746,35 +819,42 @@ impl TaskHandle {
     /// pipe traffic (silent drops on illegal flows). Returns `(a, b)`.
     ///
     /// # Errors
-    /// Fails if the task has exited.
+    /// Fails if the task has exited; [`OsError::QuotaExceeded`] on
+    /// inode/fd exhaustion (atomic, like [`Self::pipe`]).
     pub fn socketpair(&self) -> OsResult<(Fd, Fd)> {
-        let mut st = self.kernel.state.lock();
-        let sec = Kernel::task_sec(&st, self.tid)?;
-        let ino = Kernel::alloc_inode(
-            &mut st,
-            InodeKind::Socket {
-                ab: PipeBuffer::new(PIPE_CAPACITY),
-                ba: PipeBuffer::new(PIPE_CAPACITY),
-            },
-            sec.labels.clone(),
-        );
-        let pid = st.tasks.get(&self.tid).unwrap().process;
-        let fds = &mut st.processes.get_mut(&pid).unwrap().fds;
-        let a = fds.insert(OpenFile {
-            inode: ino,
-            mode: OpenMode::ReadWrite,
-            offset: 0,
-            pipe_end: None,
-            socket_end: Some(SocketEnd::A),
-        });
-        let b = fds.insert(OpenFile {
-            inode: ino,
-            mode: OpenMode::ReadWrite,
-            offset: 0,
-            pipe_end: None,
-            socket_end: Some(SocketEnd::B),
-        });
-        Ok((a, b))
+        self.kernel.syscall(|st| {
+            let sec = Kernel::task_sec(st, self.tid)?;
+            let capacity = self.kernel.quotas.pipe_capacity;
+            let ino = st.alloc_inode(
+                InodeKind::Socket {
+                    ab: PipeBuffer::new(capacity),
+                    ba: PipeBuffer::new(capacity),
+                },
+                sec.labels.clone(),
+            )?;
+            let pid = st.tasks.get(&self.tid).ok_or(OsError::NoSuchTask)?.process;
+            let a = st.fd_insert(
+                pid,
+                OpenFile {
+                    inode: ino,
+                    mode: OpenMode::ReadWrite,
+                    offset: 0,
+                    pipe_end: None,
+                    socket_end: Some(SocketEnd::A),
+                },
+            )?;
+            let b = st.fd_insert(
+                pid,
+                OpenFile {
+                    inode: ino,
+                    mode: OpenMode::ReadWrite,
+                    offset: 0,
+                    pipe_end: None,
+                    socket_end: Some(SocketEnd::B),
+                },
+            )?;
+            Ok((a, b))
+        })
     }
 
     /// Creates a symbolic link at `linkpath` pointing to `target`. The
@@ -787,27 +867,27 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::Exists`]; creation-rule vetoes.
     pub fn symlink(&self, target: &str, linkpath: &str) -> OsResult<()> {
-        let mut st = self.kernel.state.lock();
-        let sec = Kernel::task_sec(&st, self.tid)?;
-        let r = self.kernel.resolve(&mut st, self.tid, linkpath)?;
-        if r.inode.is_some() {
-            return Err(OsError::Exists);
-        }
-        let parent =
-            r.parent.ok_or(OsError::InvalidArgument("link path names a directory"))?;
-        let parent_labels = Kernel::inode_labels(&st, parent)?;
-        st.hook_calls += 1;
-        self.kernel.module.inode_create(&sec, &parent_labels, &sec.labels)?;
-        let id = Kernel::alloc_inode(
-            &mut st,
-            InodeKind::Symlink { target: target.to_string() },
-            sec.labels.clone(),
-        );
-        if let InodeKind::Dir { entries } = &mut st.inodes.get_mut(&parent).unwrap().kind
-        {
-            entries.insert(r.name, id);
-        }
-        Ok(())
+        self.kernel.syscall(|st| {
+            let sec = Kernel::task_sec(st, self.tid)?;
+            let r = self.kernel.resolve(st, self.tid, linkpath)?;
+            if r.inode.is_some() {
+                return Err(OsError::Exists);
+            }
+            let parent = r
+                .parent
+                .ok_or(OsError::InvalidArgument("link path names a directory"))?;
+            let parent_labels = Kernel::inode_labels(st, parent)?;
+            st.count_hook();
+            self.kernel.module.inode_create(&sec, &parent_labels, &sec.labels)?;
+            let id = st.alloc_inode(
+                InodeKind::Symlink { target: target.to_string() },
+                sec.labels.clone(),
+            )?;
+            if let InodeKind::Dir { entries } = &mut st.inode_mut(parent)?.kind {
+                entries.insert(r.name, id);
+            }
+            Ok(())
+        })
     }
 
     /// Reads the target of a symbolic link (a read of the link inode).
@@ -815,15 +895,17 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::InvalidArgument`] if the path is not a symlink.
     pub fn readlink(&self, path: &str) -> OsResult<String> {
-        let mut st = self.kernel.state.lock();
-        let sec = Kernel::task_sec(&st, self.tid)?;
-        let r = self.kernel.resolve_nofollow(&mut st, self.tid, path)?;
-        let ino = r.inode.ok_or(OsError::NotFound)?;
-        self.kernel.hook_inode_permission(&mut st, &sec, ino, Access::Read)?;
-        match &st.inodes.get(&ino).unwrap().kind {
-            InodeKind::Symlink { target } => Ok(target.clone()),
-            _ => Err(OsError::InvalidArgument("not a symlink")),
-        }
+        self.kernel.syscall(|st| {
+            let sec = Kernel::task_sec(st, self.tid)?;
+            let r = self.kernel.resolve_nofollow(st, self.tid, path)?;
+            let ino = r.inode.ok_or(OsError::NotFound)?;
+            self.kernel.hook_inode_permission(st, &sec, ino, Access::Read)?;
+            match st.inodes.get(&ino).map(|i| &i.kind) {
+                Some(InodeKind::Symlink { target }) => Ok(target.clone()),
+                Some(_) => Err(OsError::InvalidArgument("not a symlink")),
+                None => Err(OsError::Internal),
+            }
+        })
     }
 
     /// Repositions an open regular file's offset.
@@ -831,32 +913,43 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::BadFd`] for pipes/sockets/devices.
     pub fn seek(&self, fd: Fd, offset: u64) -> OsResult<()> {
-        let mut st = self.kernel.state.lock();
-        let pid = st
-            .tasks
-            .get(&self.tid)
-            .filter(|t| t.alive)
-            .ok_or(OsError::NoSuchTask)?
-            .process;
-        let file =
-            st.processes.get_mut(&pid).unwrap().fds.get_mut(fd).ok_or(OsError::BadFd)?;
-        if file.pipe_end.is_some() || file.socket_end.is_some() {
-            return Err(OsError::BadFd);
-        }
-        file.offset = offset;
-        Ok(())
+        self.kernel.syscall(|st| {
+            let pid = st
+                .tasks
+                .get(&self.tid)
+                .filter(|t| t.alive)
+                .ok_or(OsError::NoSuchTask)?
+                .process;
+            let file = st
+                .processes
+                .get(&pid)
+                .ok_or(OsError::Internal)?
+                .fds
+                .get(fd)
+                .ok_or(OsError::BadFd)?;
+            if file.pipe_end.is_some() || file.socket_end.is_some() {
+                return Err(OsError::BadFd);
+            }
+            st.fd_set_offset(pid, fd, offset)
+        })
     }
 
     /// Bytes currently queued in a pipe — a *debugging/test* affordance
     /// (not part of the paper's API; exposing it to untrusted code would
-    /// be a channel).
+    /// be a channel). Read-only: bypasses the transaction machinery.
     ///
     /// # Errors
     /// [`OsError::BadFd`] if `fd` is not a pipe.
     pub fn pipe_queued_for_test(&self, fd: Fd) -> OsResult<usize> {
         let st = self.kernel.state.lock();
         let pid = st.tasks.get(&self.tid).ok_or(OsError::NoSuchTask)?.process;
-        let file = st.processes.get(&pid).unwrap().fds.get(fd).ok_or(OsError::BadFd)?;
+        let file = st
+            .processes
+            .get(&pid)
+            .ok_or(OsError::Internal)?
+            .fds
+            .get(fd)
+            .ok_or(OsError::BadFd)?;
         match &st.inodes.get(&file.inode).ok_or(OsError::BadFd)?.kind {
             InodeKind::Pipe { buffer } => Ok(buffer.queued()),
             _ => Err(OsError::BadFd),
@@ -874,7 +967,13 @@ impl TaskHandle {
     pub fn pipe_msgs_for_test(&self, fd: Fd) -> OsResult<usize> {
         let st = self.kernel.state.lock();
         let pid = st.tasks.get(&self.tid).ok_or(OsError::NoSuchTask)?.process;
-        let file = st.processes.get(&pid).unwrap().fds.get(fd).ok_or(OsError::BadFd)?;
+        let file = st
+            .processes
+            .get(&pid)
+            .ok_or(OsError::Internal)?
+            .fds
+            .get(fd)
+            .ok_or(OsError::BadFd)?;
         match &st.inodes.get(&file.inode).ok_or(OsError::BadFd)?.kind {
             InodeKind::Pipe { buffer } => Ok(buffer.msg_count()),
             _ => Err(OsError::BadFd),
@@ -893,45 +992,49 @@ impl TaskHandle {
     /// [`OsError::PermissionDenied`] if `caps` is not a subset of the
     /// caller's capabilities.
     pub fn fork(&self, caps: Option<CapSet>) -> OsResult<TaskHandle> {
-        let mut st = self.kernel.state.lock();
-        let sec = Kernel::task_sec(&st, self.tid)?;
-        let caps = match caps {
-            Some(c) => {
-                if !c.is_subset_of(&sec.caps) {
-                    return Err(OsError::PermissionDenied(
-                        "child capabilities must be a subset of the parent's",
-                    ));
+        let tid = self.kernel.syscall(|st| {
+            let sec = Kernel::task_sec(st, self.tid)?;
+            let caps = match caps {
+                Some(c) => {
+                    if !c.is_subset_of(&sec.caps) {
+                        return Err(OsError::PermissionDenied(
+                            "child capabilities must be a subset of the parent's",
+                        ));
+                    }
+                    c
                 }
-                c
-            }
-            None => (*sec.caps).clone(),
-        };
-        let me = st.tasks.get(&self.tid).unwrap();
-        let (user, my_pid) = (me.user, me.process);
-        let parent = st.processes.get(&my_pid).unwrap();
-        let (cwd, fds, binary) =
-            (parent.cwd, parent.fds.clone_for_fork(), parent.binary.clone());
-        // Duplicated pipe ends gain reader/writer references.
-        let pipe_refs: Vec<(crate::vfs::inode::InodeId, PipeEnd)> =
-            fds.iter().filter_map(|(_, f)| f.pipe_end.map(|e| (f.inode, e))).collect();
-        for (ino, end) in pipe_refs {
-            if let Some(inode) = st.inodes.get_mut(&ino) {
-                if let InodeKind::Pipe { buffer } = &mut inode.kind {
-                    match end {
-                        PipeEnd::Read => buffer.add_reader(),
-                        PipeEnd::Write => buffer.add_writer(),
+                None => (*sec.caps).clone(),
+            };
+            let me = st.tasks.get(&self.tid).ok_or(OsError::NoSuchTask)?;
+            let (user, my_pid) = (me.user, me.process);
+            let parent = st.processes.get(&my_pid).ok_or(OsError::Internal)?;
+            let (cwd, fds, binary) =
+                (parent.cwd, parent.fds.clone_for_fork(), parent.binary.clone());
+            // Duplicated pipe ends gain reader/writer references.
+            let pipe_refs: Vec<(InodeId, PipeEnd)> = fds
+                .iter()
+                .filter_map(|(_, f)| f.pipe_end.map(|e| (f.inode, e)))
+                .collect();
+            for (ino, end) in pipe_refs {
+                if let Ok(inode) = st.inode_mut(ino) {
+                    if let InodeKind::Pipe { buffer } = &mut inode.kind {
+                        match end {
+                            PipeEnd::Read => buffer.add_reader(),
+                            PipeEnd::Write => buffer.add_writer(),
+                        }
                     }
                 }
             }
-        }
-        let tid = Kernel::spawn_process_locked(&mut st, user, cwd, caps);
-        let new_pid = st.tasks.get(&tid).unwrap().process;
-        {
-            let p = st.processes.get_mut(&new_pid).unwrap();
-            p.fds = fds;
-            p.binary = binary;
-        }
-        st.tasks.get_mut(&tid).unwrap().security.labels = sec.labels.clone();
+            let tid = st.spawn_process(user, cwd, caps);
+            let new_pid = st.tasks.get(&tid).ok_or(OsError::Internal)?.process;
+            {
+                let p = st.proc_mut(new_pid)?;
+                p.fds = fds;
+                p.binary = binary;
+            }
+            st.task_mut(tid)?.security.labels = sec.labels.clone();
+            Ok(tid)
+        })?;
         Ok(TaskHandle { kernel: Arc::clone(&self.kernel), tid })
     }
 
@@ -943,35 +1046,31 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::PermissionDenied`] on a capability superset.
     pub fn spawn_thread(&self, caps: Option<CapSet>) -> OsResult<TaskHandle> {
-        let mut st = self.kernel.state.lock();
-        let sec = Kernel::task_sec(&st, self.tid)?;
-        let caps = match caps {
-            Some(c) => {
-                if !c.is_subset_of(&sec.caps) {
-                    return Err(OsError::PermissionDenied(
-                        "thread capabilities must be a subset of the spawner's",
-                    ));
+        let tid = self.kernel.syscall(|st| {
+            let sec = Kernel::task_sec(st, self.tid)?;
+            let caps = match caps {
+                Some(c) => {
+                    if !c.is_subset_of(&sec.caps) {
+                        return Err(OsError::PermissionDenied(
+                            "thread capabilities must be a subset of the spawner's",
+                        ));
+                    }
+                    c
                 }
-                c
-            }
-            None => (*sec.caps).clone(),
-        };
-        let me = st.tasks.get(&self.tid).unwrap();
-        let (user, pid) = (me.user, me.process);
-        let tid = TaskId(st.next_task);
-        st.next_task += 1;
-        st.tasks.insert(
-            tid,
-            crate::task::TaskStruct {
-                id: tid,
-                process: pid,
+                None => (*sec.caps).clone(),
+            };
+            let me = st.tasks.get(&self.tid).ok_or(OsError::NoSuchTask)?;
+            let (user, pid) = (me.user, me.process);
+            let tid = st.fresh_task_id();
+            st.insert_task(TaskStruct::fresh(
+                tid,
+                pid,
                 user,
-                security: TaskSec::new(sec.labels.clone(), caps),
-                pending_signals: Default::default(),
-                alive: true,
-            },
-        );
-        st.processes.get_mut(&pid).unwrap().tasks.push(tid);
+                TaskSec::new(sec.labels.clone(), caps),
+            ));
+            st.proc_mut(pid)?.tasks.push(tid);
+            Ok(tid)
+        })?;
         Ok(TaskHandle { kernel: Arc::clone(&self.kernel), tid })
     }
 
@@ -983,17 +1082,18 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::NotFound`]; flow vetoes.
     pub fn exec(&self, path: &str) -> OsResult<()> {
-        let mut st = self.kernel.state.lock();
-        let sec = Kernel::task_sec(&st, self.tid)?;
-        let r = self.kernel.resolve(&mut st, self.tid, path)?;
-        let ino = r.inode.ok_or(OsError::NotFound)?;
-        self.kernel.hook_inode_permission(&mut st, &sec, ino, Access::Read)?;
-        let pid = st.tasks.get(&self.tid).unwrap().process;
-        let p = st.processes.get_mut(&pid).unwrap();
-        p.vm_areas.clear();
-        p.next_mmap_page = 0x1000;
-        p.binary = r.name;
-        Ok(())
+        self.kernel.syscall(|st| {
+            let sec = Kernel::task_sec(st, self.tid)?;
+            let r = self.kernel.resolve(st, self.tid, path)?;
+            let ino = r.inode.ok_or(OsError::NotFound)?;
+            self.kernel.hook_inode_permission(st, &sec, ino, Access::Read)?;
+            let pid = st.tasks.get(&self.tid).ok_or(OsError::NoSuchTask)?.process;
+            let p = st.proc_mut(pid)?;
+            p.vm_areas.clear();
+            p.next_mmap_page = 0x1000;
+            p.binary = r.name;
+            Ok(())
+        })
     }
 
     /// Marks the task dead and releases its fds if it was the last task
@@ -1002,36 +1102,46 @@ impl TaskHandle {
     /// # Errors
     /// Fails if already exited.
     pub fn exit(&self) -> OsResult<()> {
-        let mut st = self.kernel.state.lock();
-        let t =
-            st.tasks.get_mut(&self.tid).filter(|t| t.alive).ok_or(OsError::NoSuchTask)?;
-        t.alive = false;
-        let pid = t.process;
-        // Reap: drop the task entry, and the whole process (with its fd
-        // table) once its last task exits, so fork-heavy workloads do
-        // not grow the kernel tables without bound.
-        st.tasks.remove(&self.tid);
-        let p = st.processes.get_mut(&pid).unwrap();
-        p.tasks.retain(|&x| x != self.tid);
-        if p.tasks.is_empty() {
-            let fds: Vec<(crate::vfs::inode::InodeId, PipeEnd)> = p
-                .fds
-                .iter()
-                .filter_map(|(_, f)| f.pipe_end.map(|e| (f.inode, e)))
-                .collect();
-            st.processes.remove(&pid);
-            for (ino, end) in fds {
-                if let Some(inode) = st.inodes.get_mut(&ino) {
-                    if let InodeKind::Pipe { buffer } = &mut inode.kind {
-                        match end {
-                            PipeEnd::Read => buffer.drop_reader(),
-                            PipeEnd::Write => buffer.drop_writer(),
+        self.kernel.syscall(|st| {
+            let pid = st
+                .tasks
+                .get(&self.tid)
+                .filter(|t| t.alive)
+                .ok_or(OsError::NoSuchTask)?
+                .process;
+            // Reap: drop the task entry, and the whole process (with its fd
+            // table) once its last task exits, so fork-heavy workloads do
+            // not grow the kernel tables without bound.
+            st.remove_task(self.tid);
+            let last_task_fds = {
+                let p = st.proc_mut(pid)?;
+                p.tasks.retain(|&x| x != self.tid);
+                if p.tasks.is_empty() {
+                    Some(
+                        p.fds
+                            .iter()
+                            .filter_map(|(_, f)| f.pipe_end.map(|e| (f.inode, e)))
+                            .collect::<Vec<(InodeId, PipeEnd)>>(),
+                    )
+                } else {
+                    None
+                }
+            };
+            if let Some(fds) = last_task_fds {
+                st.remove_process(pid);
+                for (ino, end) in fds {
+                    if let Ok(inode) = st.inode_mut(ino) {
+                        if let InodeKind::Pipe { buffer } = &mut inode.kind {
+                            match end {
+                                PipeEnd::Read => buffer.drop_reader(),
+                                PipeEnd::Write => buffer.drop_writer(),
+                            }
                         }
                     }
                 }
             }
-        }
-        Ok(())
+            Ok(())
+        })
     }
 
     /// Sends a signal. Delivery is mediated by the LSM: an illegal flow
@@ -1040,18 +1150,18 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::NoSuchTask`] only when the target id was never valid.
     pub fn kill(&self, target: TaskId, sig: Signal) -> OsResult<()> {
-        let mut st = self.kernel.state.lock();
-        let sender = Kernel::task_sec(&st, self.tid)?;
-        let target_sec = match Kernel::task_sec(&st, target) {
-            Ok(s) => s,
-            Err(_) => return Err(OsError::NoSuchTask),
-        };
-        st.hook_calls += 1;
-        if self.kernel.module.task_kill(&sender, &target_sec) == DeliveryVerdict::Deliver
-        {
-            st.tasks.get_mut(&target).unwrap().pending_signals.push_back(sig);
-        }
-        Ok(())
+        self.kernel.syscall(|st| {
+            let sender = Kernel::task_sec(st, self.tid)?;
+            let target_sec =
+                Kernel::task_sec(st, target).map_err(|_| OsError::NoSuchTask)?;
+            st.count_hook();
+            if self.kernel.module.task_kill(&sender, &target_sec)
+                == DeliveryVerdict::Deliver
+            {
+                st.task_mut(target)?.pending_signals.push_back(sig);
+            }
+            Ok(())
+        })
     }
 
     /// Dequeues the next pending signal for this task, if any.
@@ -1059,13 +1169,16 @@ impl TaskHandle {
     /// # Errors
     /// Fails if the task has exited.
     pub fn next_signal(&self) -> OsResult<Option<Signal>> {
-        let mut st = self.kernel.state.lock();
-        let t =
-            st.tasks.get_mut(&self.tid).filter(|t| t.alive).ok_or(OsError::NoSuchTask)?;
-        Ok(t.pending_signals.pop_front())
+        self.kernel.syscall(|st| {
+            if st.tasks.get(&self.tid).filter(|t| t.alive).is_none() {
+                return Err(OsError::NoSuchTask);
+            }
+            Ok(st.task_mut(self.tid)?.pending_signals.pop_front())
+        })
     }
 
-    /// The user this task runs as.
+    /// The user this task runs as. (Read-only: bypasses the transaction
+    /// machinery, never fires failpoints.)
     ///
     /// # Errors
     /// Fails if the task has exited.
@@ -1078,7 +1191,8 @@ impl TaskHandle {
             .ok_or(OsError::NoSuchTask)
     }
 
-    /// The process this task belongs to.
+    /// The process this task belongs to. (Read-only: bypasses the
+    /// transaction machinery, never fires failpoints.)
     ///
     /// # Errors
     /// Fails if the task has exited.
@@ -1100,30 +1214,31 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::BadFd`] for a bad backing fd; hook vetoes.
     pub fn mmap(&self, pages: u64, backing: Option<Fd>) -> OsResult<u64> {
-        let mut st = self.kernel.state.lock();
-        let sec = Kernel::task_sec(&st, self.tid)?;
-        let pid = st.tasks.get(&self.tid).unwrap().process;
-        let backing_labels = match backing {
-            Some(fd) => {
-                let file = st
-                    .processes
-                    .get(&pid)
-                    .unwrap()
-                    .fds
-                    .get(fd)
-                    .cloned()
-                    .ok_or(OsError::BadFd)?;
-                Some(Kernel::inode_labels(&st, file.inode)?)
-            }
-            None => None,
-        };
-        st.hook_calls += 1;
-        self.kernel.module.file_mmap(&sec, backing_labels.as_ref())?;
-        let p = st.processes.get_mut(&pid).unwrap();
-        let start = p.next_mmap_page;
-        p.next_mmap_page += pages;
-        p.vm_areas.push(VmArea { start, pages, read: true, write: true });
-        Ok(start)
+        self.kernel.syscall(|st| {
+            let sec = Kernel::task_sec(st, self.tid)?;
+            let pid = st.tasks.get(&self.tid).ok_or(OsError::NoSuchTask)?.process;
+            let backing_labels = match backing {
+                Some(fd) => {
+                    let file = st
+                        .processes
+                        .get(&pid)
+                        .ok_or(OsError::Internal)?
+                        .fds
+                        .get(fd)
+                        .cloned()
+                        .ok_or(OsError::BadFd)?;
+                    Some(Kernel::inode_labels(st, file.inode)?)
+                }
+                None => None,
+            };
+            st.count_hook();
+            self.kernel.module.file_mmap(&sec, backing_labels.as_ref())?;
+            let p = st.proc_mut(pid)?;
+            let start = p.next_mmap_page;
+            p.next_mmap_page += pages;
+            p.vm_areas.push(VmArea { start, pages, read: true, write: true });
+            Ok(start)
+        })
     }
 
     /// Unmaps the area starting at `start`.
@@ -1131,20 +1246,21 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::Fault`] if no such mapping exists.
     pub fn munmap(&self, start: u64) -> OsResult<()> {
-        let mut st = self.kernel.state.lock();
-        let pid = st
-            .tasks
-            .get(&self.tid)
-            .filter(|t| t.alive)
-            .ok_or(OsError::NoSuchTask)?
-            .process;
-        let p = st.processes.get_mut(&pid).unwrap();
-        let before = p.vm_areas.len();
-        p.vm_areas.retain(|a| a.start != start);
-        if p.vm_areas.len() == before {
-            return Err(OsError::Fault);
-        }
-        Ok(())
+        self.kernel.syscall(|st| {
+            let pid = st
+                .tasks
+                .get(&self.tid)
+                .filter(|t| t.alive)
+                .ok_or(OsError::NoSuchTask)?
+                .process;
+            let p = st.proc_mut(pid)?;
+            let before = p.vm_areas.len();
+            p.vm_areas.retain(|a| a.start != start);
+            if p.vm_areas.len() == before {
+                return Err(OsError::Fault);
+            }
+            Ok(())
+        })
     }
 
     /// `mprotect`: changes the protection bits of the mapping at `start`.
@@ -1152,24 +1268,26 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::Fault`] if no such mapping exists.
     pub fn mprotect(&self, start: u64, read: bool, write: bool) -> OsResult<()> {
-        let mut st = self.kernel.state.lock();
-        let pid = st
-            .tasks
-            .get(&self.tid)
-            .filter(|t| t.alive)
-            .ok_or(OsError::NoSuchTask)?
-            .process;
-        let p = st.processes.get_mut(&pid).unwrap();
-        let area =
-            p.vm_areas.iter_mut().find(|a| a.start == start).ok_or(OsError::Fault)?;
-        area.read = read;
-        area.write = write;
-        Ok(())
+        self.kernel.syscall(|st| {
+            let pid = st
+                .tasks
+                .get(&self.tid)
+                .filter(|t| t.alive)
+                .ok_or(OsError::NoSuchTask)?
+                .process;
+            let p = st.proc_mut(pid)?;
+            let area =
+                p.vm_areas.iter_mut().find(|a| a.start == start).ok_or(OsError::Fault)?;
+            area.read = read;
+            area.write = write;
+            Ok(())
+        })
     }
 
     /// Simulates a memory access, running the kernel's fault path when
     /// the page is unmapped or protection-violating (the "prot fault"
-    /// microbenchmark of Table 2 measures exactly this path).
+    /// microbenchmark of Table 2 measures exactly this path). Read-only:
+    /// bypasses the transaction machinery.
     ///
     /// # Errors
     /// [`OsError::Fault`] on an illegal access.
@@ -1181,7 +1299,7 @@ impl TaskHandle {
             .filter(|t| t.alive)
             .ok_or(OsError::NoSuchTask)?
             .process;
-        let p = st.processes.get(&pid).unwrap();
+        let p = st.processes.get(&pid).ok_or(OsError::Internal)?;
         for a in &p.vm_areas {
             if page >= a.start && page < a.start + a.pages {
                 let ok = if is_write { a.write } else { a.read };

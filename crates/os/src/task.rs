@@ -85,7 +85,10 @@ pub struct VmArea {
 }
 
 /// Kernel-side task state.
-#[derive(Debug)]
+///
+/// `Clone` exists so the syscall undo journal ([`crate::txn`]) can
+/// snapshot an entry before the first in-transaction mutation.
+#[derive(Clone, Debug)]
 pub(crate) struct TaskStruct {
     #[allow(dead_code)] // kept for parity with task_struct; shown in Debug dumps
     pub id: TaskId,
@@ -96,8 +99,29 @@ pub(crate) struct TaskStruct {
     pub alive: bool,
 }
 
+impl TaskStruct {
+    /// A freshly spawned, alive task with the given security context.
+    pub(crate) fn fresh(
+        id: TaskId,
+        process: ProcessId,
+        user: UserId,
+        security: TaskSec,
+    ) -> Self {
+        TaskStruct {
+            id,
+            process,
+            user,
+            security,
+            pending_signals: VecDeque::new(),
+            alive: true,
+        }
+    }
+}
+
 /// Kernel-side process state.
-#[derive(Debug)]
+///
+/// `Clone` exists for the syscall undo journal (see [`TaskStruct`]).
+#[derive(Clone, Debug)]
 pub(crate) struct ProcessStruct {
     #[allow(dead_code)] // kept for parity with the kernel's process table
     pub id: ProcessId,
@@ -111,6 +135,22 @@ pub(crate) struct ProcessStruct {
     pub next_mmap_page: u64,
     /// Name of the binary last `exec`ed; purely informational.
     pub binary: String,
+}
+
+impl ProcessStruct {
+    /// A fresh single-task process with an empty fd table.
+    pub(crate) fn fresh(id: ProcessId, task: TaskId, cwd: InodeId) -> Self {
+        ProcessStruct {
+            id,
+            tasks: vec![task],
+            fds: FdTable::default(),
+            cwd,
+            trusted_vm: false,
+            vm_areas: Vec::new(),
+            next_mmap_page: 0x1000,
+            binary: String::from("init"),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,385 @@
+//! The syscall transaction: an undo journal over [`KState`].
+//!
+//! Every syscall body runs against a [`Txn`] instead of the raw kernel
+//! state. Reads pass through (`Txn` derefs to `&KState`); the *first*
+//! mutation of any table entry snapshots that entry into the journal.
+//! The dispatch loop in [`crate::kernel::Kernel::syscall`] then either
+//! commits (drops the journal) or rolls back — on an internal panic
+//! caught at the syscall boundary *or* on an error return — restoring
+//! every journalled entry in reverse order, so a failed or faulted
+//! syscall is a byte-for-byte no-op on the security state (labels,
+//! capabilities, fd tables, inodes, pipe buffers).
+//!
+//! Two deliberate exceptions to journalling:
+//!
+//! * `hook_calls` is monotonic observability (tests pin that it only
+//!   grows), not security state — it is never rolled back.
+//! * The [`laminar_difc::TagAllocator`] lives outside `KState`; a tag id
+//!   minted by an aborted `alloc_tag` is simply never used, which is
+//!   invisible (tag ids are opaque and unique).
+//!
+//! Resource quotas ([`Quotas`]) are enforced here too, at the points
+//! where a transaction allocates: inode creation, fd insertion and tag
+//! minting. Exhaustion returns [`OsError::QuotaExceeded`] — typed,
+//! side-effect free (the transaction rolls back), and transient: the
+//! operation succeeds again once the resource is released.
+
+use crate::error::{OsError, OsResult};
+use crate::kernel::KState;
+use crate::task::{ProcessId, ProcessStruct, TaskId, TaskSec, TaskStruct, UserId};
+use crate::vfs::file::{Fd, OpenFile};
+use crate::vfs::inode::{Inode, InodeId, InodeKind, Xattrs};
+use laminar_difc::{CapSet, SecPair};
+
+/// Resource limits enforced per kernel instance (fixed at boot).
+///
+/// Exhaustion degrades gracefully: the failing syscall returns
+/// [`OsError::QuotaExceeded`] naming the resource, changes nothing, and
+/// the same call succeeds after a `close`/`unlink` frees the resource.
+#[derive(Clone, Debug)]
+pub struct Quotas {
+    /// Maximum simultaneously open descriptors per process.
+    pub max_fds_per_process: usize,
+    /// Maximum live inodes (files, dirs, pipes, sockets, symlinks).
+    pub max_inodes: usize,
+    /// Byte capacity of newly created pipe buffers.
+    pub pipe_capacity: usize,
+    /// Maximum tags a single user may mint via `alloc_tag`.
+    pub max_tags_per_user: u64,
+}
+
+impl Default for Quotas {
+    fn default() -> Self {
+        Quotas {
+            max_fds_per_process: 4096,
+            max_inodes: 1 << 20,
+            pipe_capacity: crate::vfs::pipe::PIPE_CAPACITY,
+            max_tags_per_user: 1 << 16,
+        }
+    }
+}
+
+/// One undo record: the state of an entry before its first mutation in
+/// this transaction (`None` = the entry did not exist).
+enum Undo {
+    Task(TaskId, Option<TaskStruct>),
+    Proc(ProcessId, Option<ProcessStruct>),
+    Inode(InodeId, Option<Inode>),
+    /// Fine-grained record for regular-file writes: restoring `old_len`
+    /// and the overwritten byte range avoids cloning whole files on the
+    /// write hot path.
+    FileRange {
+        ino: InodeId,
+        offset: usize,
+        old_len: usize,
+        old_bytes: Vec<u8>,
+    },
+    /// Fine-grained record for fd offset bumps on the read/write paths.
+    FdOffset(ProcessId, Fd, u64),
+    PersistentCaps(UserId, Option<CapSet>),
+    TagsMinted(UserId, Option<u64>),
+}
+
+/// An in-flight syscall transaction (see the module docs).
+pub(crate) struct Txn<'a> {
+    st: &'a mut KState,
+    quotas: &'a Quotas,
+    #[cfg(feature = "fault-injection")]
+    failpoints: &'a crate::kernel::Failpoints,
+    journal: Vec<Undo>,
+    next_ids: (u64, u64, u64),
+}
+
+impl std::ops::Deref for Txn<'_> {
+    type Target = KState;
+    fn deref(&self) -> &KState {
+        self.st
+    }
+}
+
+impl<'a> Txn<'a> {
+    pub(crate) fn new(
+        st: &'a mut KState,
+        quotas: &'a Quotas,
+        #[cfg(feature = "fault-injection")] failpoints: &'a crate::kernel::Failpoints,
+    ) -> Self {
+        let next_ids = (st.next_task, st.next_proc, st.next_inode);
+        Txn {
+            st,
+            quotas,
+            #[cfg(feature = "fault-injection")]
+            failpoints,
+            journal: Vec::new(),
+            next_ids,
+        }
+    }
+
+    /// Restores every journalled entry (reverse order) and the id
+    /// counters, making the transaction a no-op on kernel state.
+    pub(crate) fn rollback(&mut self) {
+        while let Some(entry) = self.journal.pop() {
+            match entry {
+                Undo::Task(id, Some(t)) => {
+                    self.st.tasks.insert(id, t);
+                }
+                Undo::Task(id, None) => {
+                    self.st.tasks.remove(&id);
+                }
+                Undo::Proc(id, Some(p)) => {
+                    self.st.processes.insert(id, p);
+                }
+                Undo::Proc(id, None) => {
+                    self.st.processes.remove(&id);
+                }
+                Undo::Inode(id, Some(i)) => {
+                    self.st.inodes.insert(id, i);
+                }
+                Undo::Inode(id, None) => {
+                    self.st.inodes.remove(&id);
+                }
+                Undo::FileRange { ino, offset, old_len, old_bytes } => {
+                    if let Some(InodeKind::File { data }) =
+                        self.st.inodes.get_mut(&ino).map(|i| &mut i.kind)
+                    {
+                        data.truncate(old_len);
+                        let end = (offset + old_bytes.len()).min(data.len());
+                        if offset <= end {
+                            data[offset..end].copy_from_slice(&old_bytes[..end - offset]);
+                        }
+                    }
+                }
+                Undo::FdOffset(pid, fd, off) => {
+                    if let Some(f) =
+                        self.st.processes.get_mut(&pid).and_then(|p| p.fds.get_mut(fd))
+                    {
+                        f.offset = off;
+                    }
+                }
+                Undo::PersistentCaps(user, Some(c)) => {
+                    self.st.persistent_caps.insert(user, c);
+                }
+                Undo::PersistentCaps(user, None) => {
+                    self.st.persistent_caps.remove(&user);
+                }
+                Undo::TagsMinted(user, Some(n)) => {
+                    self.st.tags_minted.insert(user, n);
+                }
+                Undo::TagsMinted(user, None) => {
+                    self.st.tags_minted.remove(&user);
+                }
+            }
+        }
+        self.st.next_task = self.next_ids.0;
+        self.st.next_proc = self.next_ids.1;
+        self.st.next_inode = self.next_ids.2;
+    }
+
+    /// Bumps the (unjournalled, monotonic) LSM hook counter; the
+    /// panic-at-hook failpoint fires here.
+    pub(crate) fn count_hook(&mut self) {
+        self.st.hook_calls += 1;
+        #[cfg(feature = "fault-injection")]
+        self.failpoints.fire_panic_at_hook();
+    }
+
+    fn save_task(&mut self, id: TaskId) {
+        if !self.journal.iter().any(|u| matches!(u, Undo::Task(t, _) if *t == id)) {
+            self.journal.push(Undo::Task(id, self.st.tasks.get(&id).cloned()));
+        }
+    }
+
+    fn save_proc(&mut self, id: ProcessId) {
+        if !self.journal.iter().any(|u| matches!(u, Undo::Proc(p, _) if *p == id)) {
+            self.journal.push(Undo::Proc(id, self.st.processes.get(&id).cloned()));
+        }
+    }
+
+    fn save_inode(&mut self, id: InodeId) {
+        if !self.journal.iter().any(|u| matches!(u, Undo::Inode(i, _) if *i == id)) {
+            self.journal.push(Undo::Inode(id, self.st.inodes.get(&id).cloned()));
+        }
+    }
+
+    // --- journalled mutators -------------------------------------------------
+
+    pub(crate) fn task_mut(&mut self, id: TaskId) -> OsResult<&mut TaskStruct> {
+        self.save_task(id);
+        self.st.tasks.get_mut(&id).ok_or(OsError::NoSuchTask)
+    }
+
+    pub(crate) fn proc_mut(&mut self, id: ProcessId) -> OsResult<&mut ProcessStruct> {
+        self.save_proc(id);
+        self.st.processes.get_mut(&id).ok_or(OsError::Internal)
+    }
+
+    pub(crate) fn inode_mut(&mut self, id: InodeId) -> OsResult<&mut Inode> {
+        self.save_inode(id);
+        self.st.inodes.get_mut(&id).ok_or(OsError::NotFound)
+    }
+
+    pub(crate) fn remove_task(&mut self, id: TaskId) {
+        self.save_task(id);
+        self.st.tasks.remove(&id);
+    }
+
+    pub(crate) fn remove_process(&mut self, id: ProcessId) {
+        self.save_proc(id);
+        self.st.processes.remove(&id);
+    }
+
+    pub(crate) fn remove_inode(&mut self, id: InodeId) {
+        self.save_inode(id);
+        self.st.inodes.remove(&id);
+    }
+
+    /// Allocates a fresh inode, enforcing the inode quota.
+    pub(crate) fn alloc_inode(
+        &mut self,
+        kind: InodeKind,
+        labels: SecPair,
+    ) -> OsResult<InodeId> {
+        #[cfg(feature = "fault-injection")]
+        if self.failpoints.take_quota() {
+            return Err(OsError::QuotaExceeded("injected allocation failure"));
+        }
+        if self.st.inodes.len() >= self.quotas.max_inodes {
+            return Err(OsError::QuotaExceeded("inodes"));
+        }
+        let id = InodeId(self.st.next_inode);
+        self.st.next_inode += 1;
+        self.journal.push(Undo::Inode(id, None));
+        self.st
+            .inodes
+            .insert(id, Inode { id, kind, xattrs: Xattrs { labels }, nlink: 1 });
+        Ok(id)
+    }
+
+    /// Inserts an open file into a process's fd table, enforcing the
+    /// per-process fd quota (which counts *open* descriptors, so closing
+    /// frees quota even though fd numbers are never reused).
+    pub(crate) fn fd_insert(&mut self, pid: ProcessId, file: OpenFile) -> OsResult<Fd> {
+        #[cfg(feature = "fault-injection")]
+        if self.failpoints.take_quota() {
+            return Err(OsError::QuotaExceeded("injected allocation failure"));
+        }
+        let open = self.st.processes.get(&pid).map_or(0, |p| p.fds.len());
+        if open >= self.quotas.max_fds_per_process {
+            return Err(OsError::QuotaExceeded("file descriptors"));
+        }
+        Ok(self.proc_mut(pid)?.fds.insert(file))
+    }
+
+    /// Sets an fd's offset via a fine-grained undo record (avoids
+    /// snapshotting the whole process on the read/write hot paths).
+    pub(crate) fn fd_set_offset(
+        &mut self,
+        pid: ProcessId,
+        fd: Fd,
+        offset: u64,
+    ) -> OsResult<()> {
+        let f = self
+            .st
+            .processes
+            .get_mut(&pid)
+            .and_then(|p| p.fds.get_mut(fd))
+            .ok_or(OsError::BadFd)?;
+        let old = f.offset;
+        f.offset = offset;
+        self.journal.push(Undo::FdOffset(pid, fd, old));
+        Ok(())
+    }
+
+    /// Journalled in-place write to a regular file's contents: records
+    /// only the overwritten range plus the old length, then applies the
+    /// write (extending the file if needed).
+    pub(crate) fn write_file_data(
+        &mut self,
+        ino: InodeId,
+        offset: usize,
+        buf: &[u8],
+    ) -> OsResult<()> {
+        let data = match self.st.inodes.get_mut(&ino).map(|i| &mut i.kind) {
+            Some(InodeKind::File { data }) => data,
+            _ => return Err(OsError::Internal),
+        };
+        let old_len = data.len();
+        let end = (offset + buf.len()).min(old_len);
+        let old_bytes =
+            if offset < end { data[offset..end].to_vec() } else { Vec::new() };
+        self.journal.push(Undo::FileRange { ino, offset, old_len, old_bytes });
+        if offset + buf.len() > data.len() {
+            data.resize(offset + buf.len(), 0);
+        }
+        data[offset..offset + buf.len()].copy_from_slice(buf);
+        Ok(())
+    }
+
+    /// Journalled update of a user's persistent capability file.
+    pub(crate) fn set_persistent_caps(&mut self, user: UserId, caps: CapSet) {
+        if !self
+            .journal
+            .iter()
+            .any(|u| matches!(u, Undo::PersistentCaps(w, _) if *w == user))
+        {
+            self.journal.push(Undo::PersistentCaps(
+                user,
+                self.st.persistent_caps.get(&user).cloned(),
+            ));
+        }
+        self.st.persistent_caps.insert(user, caps);
+    }
+
+    /// Accounts one tag minted by `user`, enforcing the per-user tag
+    /// quota.
+    pub(crate) fn mint_tag(&mut self, user: UserId) -> OsResult<()> {
+        #[cfg(feature = "fault-injection")]
+        if self.failpoints.take_quota() {
+            return Err(OsError::QuotaExceeded("injected allocation failure"));
+        }
+        let minted = self.st.tags_minted.get(&user).copied();
+        if minted.unwrap_or(0) >= self.quotas.max_tags_per_user {
+            return Err(OsError::QuotaExceeded("tags"));
+        }
+        if !self.journal.iter().any(|u| matches!(u, Undo::TagsMinted(w, _) if *w == user))
+        {
+            self.journal.push(Undo::TagsMinted(user, minted));
+        }
+        *self.st.tags_minted.entry(user).or_insert(0) += 1;
+        Ok(())
+    }
+
+    /// Spawns a fresh single-task process (journalled); used by `fork`.
+    pub(crate) fn spawn_process(
+        &mut self,
+        user: UserId,
+        cwd: InodeId,
+        caps: CapSet,
+    ) -> TaskId {
+        let pid = ProcessId(self.st.next_proc);
+        self.st.next_proc += 1;
+        let tid = TaskId(self.st.next_task);
+        self.st.next_task += 1;
+        self.journal.push(Undo::Proc(pid, None));
+        self.st.processes.insert(pid, ProcessStruct::fresh(pid, tid, cwd));
+        self.journal.push(Undo::Task(tid, None));
+        self.st.tasks.insert(
+            tid,
+            TaskStruct::fresh(tid, pid, user, TaskSec::new(SecPair::unlabeled(), caps)),
+        );
+        tid
+    }
+
+    /// Mints a fresh task id (journalled via the id-counter snapshot);
+    /// used by `spawn_thread`, which inserts the task itself.
+    pub(crate) fn fresh_task_id(&mut self) -> TaskId {
+        let tid = TaskId(self.st.next_task);
+        self.st.next_task += 1;
+        tid
+    }
+
+    /// Records a task insertion (for `spawn_thread`).
+    pub(crate) fn insert_task(&mut self, task: TaskStruct) {
+        self.journal.push(Undo::Task(task.id, self.st.tasks.get(&task.id).cloned()));
+        self.st.tasks.insert(task.id, task);
+    }
+}

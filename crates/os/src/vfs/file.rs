@@ -68,7 +68,10 @@ pub(crate) struct OpenFile {
 }
 
 /// A process's table of open files.
-#[derive(Debug, Default)]
+///
+/// `Clone` exists so the syscall undo journal can snapshot a process
+/// entry before mutating it.
+#[derive(Clone, Debug, Default)]
 pub(crate) struct FdTable {
     files: BTreeMap<Fd, OpenFile>,
     next: u32,
@@ -108,7 +111,7 @@ impl FdTable {
         self.files.iter()
     }
 
-    #[cfg(test)]
+    /// Number of open descriptors (what the per-process fd quota counts).
     pub(crate) fn len(&self) -> usize {
         self.files.len()
     }

@@ -23,7 +23,7 @@ impl fmt::Display for InodeId {
 }
 
 /// What kind of object an inode is.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(crate) enum InodeKind {
     /// Regular file with byte contents.
     File { data: Vec<u8> },
@@ -58,7 +58,7 @@ pub struct Xattrs {
 }
 
 /// Kernel-side inode state.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(crate) struct Inode {
     #[allow(dead_code)] // inode number, shown in Debug dumps
     pub id: InodeId,

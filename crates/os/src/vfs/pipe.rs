@@ -18,14 +18,14 @@ use std::collections::VecDeque;
 pub const PIPE_CAPACITY: usize = 64 * 1024;
 
 /// One in-flight message: either bytes or a kernel-mediated capability.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(crate) enum PipeMsg {
     Bytes(Vec<u8>),
     Cap(Capability),
 }
 
 /// The kernel-side message buffer of a pipe inode.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(crate) struct PipeBuffer {
     msgs: VecDeque<PipeMsg>,
     bytes_queued: usize,

@@ -14,7 +14,7 @@
 //! laminar-testkit` re-runs just that seed.
 
 use crate::fault::{CacheFaultGuard, FaultPlan};
-use crate::oracle::Oracle;
+use crate::oracle::{DenyKind, Oracle, Outcome};
 use crate::replay::KernelReplay;
 use crate::trace::{generate_trace, Op};
 use laminar_util::SplitMix64;
@@ -54,13 +54,51 @@ pub fn run_trace(ops: &[Op], plan: &FaultPlan) -> Result<(), Divergence> {
     let _guard = CacheFaultGuard::arm(plan.cache);
     let mut oracle = Oracle::new();
     let mut kernel = KernelReplay::new();
+    let failpoint = plan.syscall_failpoint();
+    if failpoint.is_some() {
+        crate::fault::silence_injected_panics();
+    }
     for (i, op) in ops.iter().enumerate() {
         if let Some(n) = plan.poison_every {
             if n > 0 && i % n == 0 {
                 kernel.poison_big_lock();
             }
         }
+        if let Some((fp, n)) = failpoint {
+            if n > 0 && i % n == 0 {
+                kernel.arm_failpoint(fp);
+            }
+        }
         let kernel_out = kernel.apply(op, i);
+        if failpoint.is_some() && kernel.take_failpoint_fired() {
+            // The op's syscall faulted mid-flight. The fail-closed
+            // contract: a typed Internal/Quota denial, and the kernel's
+            // security state byte-for-byte as it was before the op (the
+            // oracle deliberately does NOT apply the op). Ops that never
+            // reach the trigger (read-only getters, fast paths) leave the
+            // failpoint armed for a later op.
+            if !matches!(
+                kernel_out,
+                Outcome::Denied(DenyKind::Internal | DenyKind::Quota)
+            ) {
+                return Err(Divergence {
+                    index: i,
+                    op: op.clone(),
+                    detail: format!(
+                        "injected fault was not failed closed: kernel \
+                         returned {kernel_out:?}"
+                    ),
+                });
+            }
+            if let Some(d) = kernel.diff_state(&oracle) {
+                return Err(Divergence {
+                    index: i,
+                    op: op.clone(),
+                    detail: format!("state perturbed by an aborted syscall: {d}"),
+                });
+            }
+            continue;
+        }
         let oracle_out = oracle.apply(op, i);
         if kernel_out != oracle_out {
             return Err(Divergence {

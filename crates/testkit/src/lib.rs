@@ -21,7 +21,9 @@
 //!   committed regression tests.
 //! * [`fault`] — fault regimes (cache disabled / thrashing / epoch
 //!   churn, lock poisoning) under which every verdict must still be
-//!   bit-identical.
+//!   bit-identical, plus syscall failpoints (mid-hook panic, post-body
+//!   abort, quota exhaustion) under which every faulted op must be a
+//!   security-state no-op.
 //!
 //! Reproducing a CI failure locally:
 //!
@@ -43,7 +45,7 @@ pub use explore::{
     assert_conformance, explore, render_regression_test, run_trace, shrink,
     Counterexample, Divergence, ExploreConfig, ExploreReport,
 };
-pub use fault::{CacheFaultGuard, FaultMode, FaultPlan};
+pub use fault::{CacheFaultGuard, FaultMode, FaultPlan, SyscallFailpoint};
 pub use oracle::{DenyKind, MCaps, MLabel, MPair, Oracle, Outcome};
 pub use replay::KernelReplay;
 pub use trace::{generate_trace, payload, Op};

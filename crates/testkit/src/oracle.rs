@@ -128,6 +128,11 @@ pub enum DenyKind {
     Permission,
     /// `ENOTEMPTY`.
     NotEmpty,
+    /// An internal kernel fault rolled the syscall back fail-closed
+    /// (only under injected-fault regimes).
+    Internal,
+    /// A resource quota (or injected allocation failure) was exceeded.
+    Quota,
     /// Any other error class (never expected from in-universe traces).
     Other,
 }

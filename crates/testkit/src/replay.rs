@@ -40,6 +40,8 @@ fn deny(e: &OsError) -> Outcome {
         OsError::LabelChangeDenied(_) => DenyKind::LabelChange,
         OsError::PermissionDenied(_) => DenyKind::Permission,
         OsError::NotEmpty => DenyKind::NotEmpty,
+        OsError::Internal => DenyKind::Internal,
+        OsError::QuotaExceeded(_) => DenyKind::Quota,
         _ => DenyKind::Other,
     })
 }
@@ -88,6 +90,19 @@ impl KernelReplay {
     /// subsequent syscall must recover and behave identically.
     pub fn poison_big_lock(&self) {
         self.kernel.poison_big_lock_for_test();
+    }
+
+    /// Arms a one-shot syscall failpoint on the kernel under test; the
+    /// next mutating syscall that reaches the trigger point faults.
+    pub fn arm_failpoint(&self, fp: laminar_os::SyscallFailpoint) {
+        self.kernel.arm_failpoint_for_test(fp);
+    }
+
+    /// Whether the armed failpoint fired since the last call (the fired
+    /// flag is cleared by reading it).
+    #[must_use]
+    pub fn take_failpoint_fired(&self) -> bool {
+        self.kernel.take_failpoint_fired()
     }
 
     // ----- operand normalization (identical to the oracle's) ------------

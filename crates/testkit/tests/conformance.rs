@@ -66,3 +66,24 @@ fn conformance_under_eviction_storm() {
 fn conformance_under_epoch_churn_with_lock_poisoning() {
     run(FaultPlan::cache(FaultMode::EpochChurn).with_poison(8), "churn+poison");
 }
+
+// The fail-closed regimes: a one-shot syscall failpoint is armed before
+// every nth op, and every trace asserts that each faulted syscall (a)
+// returned a typed Internal/Quota denial and (b) left the kernel's
+// security state byte-for-byte what the oracle says it was before the
+// op, while the kernel kept serving the rest of the trace.
+
+#[test]
+fn conformance_under_failpoint_panic_at_hook() {
+    run(FaultPlan::panic_at_hook(5), "failpoint:panic-at-hook");
+}
+
+#[test]
+fn conformance_under_failpoint_abort_late() {
+    run(FaultPlan::abort_late(7), "failpoint:abort-late");
+}
+
+#[test]
+fn conformance_under_failpoint_quota() {
+    run(FaultPlan::quota(3), "failpoint:quota");
+}

@@ -8,7 +8,35 @@
 //! `unwrap()` to every call site.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+/// Process-wide count of lock acquisitions that found the underlying
+/// `std` lock poisoned and recovered the guard.
+static POISON_RECOVERIES: AtomicU64 = AtomicU64::new(0);
+
+/// Number of poisoned-lock recoveries since process start (or the last
+/// [`reset_poison_recoveries`]).
+#[must_use]
+pub fn poison_recoveries() -> u64 {
+    POISON_RECOVERIES.load(Ordering::Relaxed)
+}
+
+/// Resets the poison-recovery counter to zero.
+pub fn reset_poison_recoveries() {
+    POISON_RECOVERIES.store(0, Ordering::Relaxed);
+}
+
+/// Unwraps a poisonable lock result, counting actual recoveries.
+fn recover<G>(r: Result<G, std::sync::PoisonError<G>>) -> G {
+    match r {
+        Ok(g) => g,
+        Err(p) => {
+            POISON_RECOVERIES.fetch_add(1, Ordering::Relaxed);
+            p.into_inner()
+        }
+    }
+}
 
 /// A mutual-exclusion lock whose `lock()` returns the guard directly.
 #[derive(Default)]
@@ -22,28 +50,28 @@ impl<T> Mutex<T> {
 
     /// Consumes the lock, returning the value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner)
+        recover(self.0.into_inner())
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until available; poison is recovered.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        recover(self.0.lock())
     }
 
     /// Tries to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.0.try_lock() {
             Ok(g) => Some(g),
-            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(recover(Err(p))),
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(std::sync::PoisonError::into_inner)
+        recover(self.0.get_mut())
     }
 }
 
@@ -96,24 +124,24 @@ impl<T> RwLock<T> {
 
     /// Consumes the lock, returning the value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner)
+        recover(self.0.into_inner())
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquires a shared read guard; poison is recovered.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+        recover(self.0.read())
     }
 
     /// Acquires an exclusive write guard; poison is recovered.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+        recover(self.0.write())
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(std::sync::PoisonError::into_inner)
+        recover(self.0.get_mut())
     }
 }
 
@@ -170,8 +198,26 @@ mod tests {
     fn injected_poison_is_recovered() {
         let m = Mutex::new(41);
         m.poison_for_test();
+        let before = poison_recoveries();
         *m.lock() += 1; // recovery path, not a panic
         assert_eq!(*m.lock(), 42);
+        assert!(poison_recoveries() > before, "recovery must be counted");
+    }
+
+    #[test]
+    fn clean_locks_do_not_count_recoveries() {
+        reset_poison_recoveries();
+        let m = Mutex::new(0);
+        for _ in 0..10 {
+            *m.lock() += 1;
+        }
+        let l = RwLock::new(0);
+        let _ = *l.read();
+        *l.write() += 1;
+        // Other tests may poison locks concurrently; all we can assert
+        // locally is that these clean acquisitions did not have to recover
+        // anything on a lock nobody else touches.
+        assert_eq!(*m.lock(), 10);
     }
 
     #[test]

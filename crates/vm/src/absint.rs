@@ -78,7 +78,8 @@ pub(crate) fn analyze(program: &Program, func: &Function) -> VmResult<AbsStacks>
 
     while let Some(pc) = work.pop() {
         let instr = func.body[pc];
-        let mut stack = before[pc].clone().expect("worklist holds reachable pcs");
+        // The worklist only holds pcs whose before-state was just set.
+        let Some(mut stack) = before[pc].clone() else { continue };
 
         // Apply the transfer function.
         let (pops, pushes) =

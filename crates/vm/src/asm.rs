@@ -127,14 +127,17 @@ impl<'s> Assembler<'s> {
             }
             if let Some(f) = &mut current {
                 if text == ".end" {
-                    funcs.push(current.take().expect("in function"));
+                    if let Some(done) = current.take() {
+                        funcs.push(done);
+                    }
                 } else {
                     f.body.push((line, text.to_string()));
                 }
                 continue;
             }
             let mut toks = text.split_whitespace();
-            let head = toks.next().unwrap();
+            // `text` is non-empty (checked above), so a head token exists.
+            let Some(head) = toks.next() else { continue };
             match head {
                 ".class" => {
                     let name =
@@ -226,7 +229,7 @@ impl<'s> Assembler<'s> {
 
     fn parse_func_header(&self, line: usize, text: &str) -> VmResult<FuncSrc> {
         let mut toks = text.split_whitespace();
-        let head = toks.next().unwrap();
+        let head = toks.next().ok_or_else(|| err(line, "expected directive"))?;
         let region = head == ".regionfn";
         let name =
             toks.next().ok_or_else(|| err(line, "expected function name"))?.to_string();
@@ -345,7 +348,7 @@ impl<'s> Assembler<'s> {
         text: &str,
     ) -> VmResult<()> {
         let mut toks = text.split_whitespace();
-        let op = toks.next().unwrap();
+        let op = toks.next().ok_or_else(|| err(line, "empty instruction"))?;
         let mut arg = || -> VmResult<&str> {
             toks.next().ok_or_else(|| err(line, format!("{op}: missing operand")))
         };
@@ -607,7 +610,10 @@ pub fn disassemble(program: &Program) -> String {
             f.body.iter().filter_map(Instr::branch_target).collect();
         targets.sort_unstable();
         targets.dedup();
-        let label_of = |pc: u32| format!("L{}", targets.binary_search(&pc).unwrap());
+        // Only called for pcs in `targets`; the Err index still yields a
+        // deterministic label rather than an unwind.
+        let label_of =
+            |pc: u32| format!("L{}", targets.binary_search(&pc).unwrap_or_else(|i| i));
         for (pc, instr) in f.body.iter().enumerate() {
             if targets.binary_search(&(pc as u32)).is_ok() {
                 out.push_str(&format!("  {}:\n", label_of(pc as u32)));

@@ -46,6 +46,10 @@ pub enum VmError {
     },
     /// Arithmetic fault (division by zero).
     DivideByZero,
+    /// A region exit was requested with no matching region entry — an
+    /// interpreter-invariant failure that must surface as a typed error
+    /// (fail-closed), never as an unwind.
+    RegionUnderflow,
     /// Malformed program detected at run time (bad ids, stack underflow).
     Malformed(&'static str),
     /// Static verification rejected the program before execution.
@@ -78,6 +82,9 @@ impl fmt::Display for VmError {
                 write!(f, "index {index} out of bounds for length {len}")
             }
             VmError::DivideByZero => f.write_str("division by zero"),
+            VmError::RegionUnderflow => {
+                f.write_str("security region exit without a matching entry")
+            }
             VmError::Malformed(what) => write!(f, "malformed program: {what}"),
             VmError::Verify(what) => write!(f, "verification failed: {what}"),
             VmError::Os(what) => write!(f, "os bridge error: {what}"),

@@ -24,6 +24,18 @@ use std::sync::Arc;
 struct RegionFrame {
     saved_labels: SecPair,
     saved_caps: CapSet,
+    /// Length of the region undo log at entry: on abort, everything above
+    /// this mark is rolled back (secure termination, §4.3.3).
+    undo_mark: usize,
+}
+
+/// One journaled labeled write, undoable on region abort.
+#[derive(Debug)]
+enum RegionUndo {
+    /// Old value of field/element `1` of labeled object `0`.
+    Field(ObjRef, usize, Value),
+    /// Old value of labeled static `0`.
+    Static(usize, Value),
 }
 
 /// The Laminar virtual machine (one thread).
@@ -49,6 +61,10 @@ pub struct Vm {
     labels: SecPair,
     caps: CapSet,
     regions: Vec<RegionFrame>,
+    /// Undo log for labeled writes inside security regions. An abnormal
+    /// region exit rolls the log back to the frame's mark; the outermost
+    /// normal exit commits (clears) it.
+    region_undo: Vec<RegionUndo>,
     bridge: Option<Box<dyn OsBridge>>,
     /// Labels currently pushed to the kernel task (`None` = unlabeled).
     kernel_labels: Option<SecPair>,
@@ -100,6 +116,7 @@ impl Vm {
             labels: SecPair::unlabeled(),
             caps: CapSet::new(),
             regions: Vec::new(),
+            region_undo: Vec::new(),
             bridge: None,
             kernel_labels: None,
         }
@@ -375,13 +392,54 @@ impl Vm {
         self.regions.push(RegionFrame {
             saved_labels: std::mem::replace(&mut self.labels, pair),
             saved_caps: std::mem::replace(&mut self.caps, rcaps),
+            undo_mark: self.region_undo.len(),
         });
         self.stats.regions_entered += 1;
         Ok(())
     }
 
+    /// Rolls the undo log back to the current (innermost) region's entry
+    /// mark, restoring every labeled field, element and static the region
+    /// wrote — the heap half of secure termination (§4.3.3): an aborted
+    /// region must leave labeled state as it found it.
+    fn abort_region_writes(&mut self) {
+        let Some(frame) = self.regions.last() else { return };
+        let mark = frame.undo_mark;
+        while self.region_undo.len() > mark {
+            match self.region_undo.pop() {
+                Some(RegionUndo::Field(obj, idx, old)) => {
+                    // The object existed when the write was journaled; a
+                    // dangling entry here would itself be an invariant
+                    // break, so restore best-effort without unwinding.
+                    if let Ok(ho) = self.heap.get_mut(obj) {
+                        let slot = match &mut ho.kind {
+                            ObjKind::Object { fields, .. } => fields.get_mut(idx),
+                            ObjKind::Array { elems } => elems.get_mut(idx),
+                        };
+                        if let Some(slot) = slot {
+                            *slot = old;
+                        }
+                    }
+                }
+                Some(RegionUndo::Static(idx, old)) => {
+                    if let Some(slot) = self.statics.get_mut(idx) {
+                        *slot = old;
+                    }
+                }
+                None => break,
+            }
+        }
+        self.stats.regions_aborted += 1;
+        crate::stats::note_region_aborted();
+    }
+
     fn exit_region(&mut self) -> VmResult<()> {
-        let frame = self.regions.pop().expect("exit without matching enter");
+        let frame = self.regions.pop().ok_or(VmError::RegionUnderflow)?;
+        if self.regions.is_empty() {
+            // Outermost exit: the surviving writes are committed; the
+            // journal has nothing left to guard.
+            self.region_undo.clear();
+        }
         // If the kernel task carries this region's labels, restore it to
         // the unlabeled state through the trusted tcb path (§4.4); the
         // next syscall in an outer region will re-sync lazily.
@@ -429,6 +487,7 @@ impl Vm {
             VmError::Malformed(_)
                 | VmError::Verify(_)
                 | VmError::BarrierContextMismatch { .. }
+                | VmError::RegionUnderflow
         )
     }
 
@@ -680,11 +739,19 @@ impl Vm {
                 Instr::PutField(n) => {
                     let val = pop!();
                     let obj = pop!().as_ref()?;
-                    match &mut self.heap.get_mut(obj)?.kind {
+                    let journal = self.in_region();
+                    let ho = self.heap.get_mut(obj)?;
+                    let labeled = ho.labels.is_some();
+                    match &mut ho.kind {
                         ObjKind::Object { fields, .. } => {
-                            *fields.get_mut(n as usize).ok_or(VmError::Malformed(
-                                "field index out of range",
-                            ))? = val;
+                            let slot = fields
+                                .get_mut(n as usize)
+                                .ok_or(VmError::Malformed("field index out of range"))?;
+                            if journal && labeled {
+                                self.region_undo
+                                    .push(RegionUndo::Field(obj, n as usize, *slot));
+                            }
+                            *slot = val;
                         }
                         ObjKind::Array { .. } => {
                             return Err(VmError::TypeError("PutField on array"))
@@ -743,13 +810,23 @@ impl Vm {
                     let val = pop!();
                     let idx = pop!().as_int()?;
                     let arr = pop!().as_ref()?;
-                    match &mut self.heap.get_mut(arr)?.kind {
+                    let journal = self.in_region();
+                    let ho = self.heap.get_mut(arr)?;
+                    let labeled = ho.labels.is_some();
+                    match &mut ho.kind {
                         ObjKind::Array { elems } => {
                             if idx < 0 || idx as usize >= elems.len() {
                                 return Err(VmError::IndexOutOfBounds {
                                     index: idx,
                                     len: elems.len(),
                                 });
+                            }
+                            if journal && labeled {
+                                self.region_undo.push(RegionUndo::Field(
+                                    arr,
+                                    idx as usize,
+                                    elems[idx as usize],
+                                ));
                             }
                             elems[idx as usize] = val;
                         }
@@ -770,7 +847,16 @@ impl Vm {
                     }
                 }
                 Instr::GetStatic(s) => stack.push(self.statics[s.0 as usize]),
-                Instr::PutStatic(s) => self.statics[s.0 as usize] = pop!(),
+                Instr::PutStatic(s) => {
+                    let val = pop!();
+                    let idx = s.0 as usize;
+                    if self.in_region()
+                        && self.static_labels.get(idx).is_some_and(|p| !p.is_unlabeled())
+                    {
+                        self.region_undo.push(RegionUndo::Static(idx, self.statics[idx]));
+                    }
+                    self.statics[idx] = val;
+                }
                 Instr::Add | Instr::Sub | Instr::Mul | Instr::Div | Instr::Mod => {
                     let b = pop!().as_int()?;
                     let a = pop!().as_int()?;
@@ -868,14 +954,18 @@ impl Vm {
                     let result = self.exec(callee, cargs.clone());
                     if let Err(e) = result {
                         if !Self::suppressible(&e) {
-                            // Unwind the region before propagating.
+                            // Abort: undo the region's labeled writes,
+                            // then unwind the region before propagating.
+                            self.abort_region_writes();
                             self.exit_region()?;
                             return Err(e);
                         }
                         self.stats.exceptions_suppressed += 1;
                         // Run the catch block with the region's labels and
                         // the capabilities at exception time; suppress its
-                        // exceptions too (§4.3.3).
+                        // exceptions too (§4.3.3). The catch sees the
+                        // region's writes as-is — it exists to repair
+                        // invariants, so the undo log does not fire.
                         if let Some(cfid) = catch {
                             let cfunc = &self.program.functions[cfid.0 as usize];
                             let catch_args = cargs
@@ -888,11 +978,16 @@ impl Vm {
                                         self.stats.exceptions_suppressed += 1;
                                     }
                                     Err(ce) => {
+                                        self.abort_region_writes();
                                         self.exit_region()?;
                                         return Err(ce);
                                     }
                                 }
                             }
+                        } else {
+                            // No catch: secure termination rolls every
+                            // labeled write back to the entry snapshot.
+                            self.abort_region_writes();
                         }
                     }
                     self.exit_region()?;
@@ -944,5 +1039,40 @@ impl Vm {
         // Function bodies are terminated by Return (the builder appends
         // one), so falling off the end is malformed.
         Err(VmError::Malformed("control flow fell off function end"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+
+    fn trivial_vm() -> Vm {
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", 0, false, 0, |b| {
+            b.ret();
+        });
+        Vm::new(pb.finish().unwrap(), vec![], BarrierMode::Dynamic)
+    }
+
+    #[test]
+    fn exit_without_enter_is_a_typed_error_not_a_panic() {
+        let mut vm = trivial_vm();
+        assert!(matches!(vm.exit_region(), Err(VmError::RegionUnderflow)));
+        // The VM keeps working afterwards (fail-closed, not poisoned).
+        assert!(vm.call_by_name("main", &[]).is_ok());
+    }
+
+    #[test]
+    fn region_underflow_is_not_suppressible() {
+        assert!(!Vm::suppressible(&VmError::RegionUnderflow));
+    }
+
+    #[test]
+    fn abort_outside_any_region_is_a_no_op() {
+        let mut vm = trivial_vm();
+        vm.abort_region_writes();
+        assert_eq!(vm.stats().regions_aborted, 0);
+        assert!(vm.region_undo.is_empty());
     }
 }

@@ -68,6 +68,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod absint;
 pub mod asm;
@@ -97,6 +98,6 @@ pub use interp::Vm;
 pub use program::{
     Class, CodeLabel, Function, FunctionBuilder, Program, ProgramBuilder, StaticDecl,
 };
-pub use stats::VmStats;
+pub use stats::{regions_aborted, reset_regions_aborted, VmStats};
 pub use value::{ObjRef, Value};
 pub use verify::verify;

@@ -75,7 +75,8 @@ pub(crate) fn plan_barriers(
     before[0] = Some(Facts::default());
     let mut work = vec![0usize];
     while let Some(pc) = work.pop() {
-        let mut facts = before[pc].clone().expect("worklist holds reachable pcs");
+        // The worklist only holds pcs whose before-state was just set.
+        let Some(mut facts) = before[pc].clone() else { continue };
         let instr = func.body[pc];
 
         if let Some((depth, is_read, is_write)) = access_shape(&instr) {

@@ -329,7 +329,12 @@ impl FunctionBuilder {
 
     fn finish(mut self) -> Vec<Instr> {
         for (at, l) in self.fixups {
-            let target = self.labels[l.0].expect("unbound label at finish");
+            // An unbound label leaves the u32::MAX placeholder in place;
+            // verification rejects the out-of-range jump with a typed
+            // error instead of unwinding here.
+            let Some(target) = self.labels.get(l.0).copied().flatten() else {
+                continue;
+            };
             self.code[at] = match self.code[at] {
                 Instr::Jump(_) => Instr::Jump(target),
                 Instr::JumpIfTrue(_) => Instr::JumpIfTrue(target),

@@ -101,10 +101,12 @@ fn symlink_loops_are_detected() {
     let (_k, alice) = boot();
     alice.symlink("/tmp/l2", "/tmp/l1").unwrap();
     alice.symlink("/tmp/l1", "/tmp/l2").unwrap();
-    assert!(matches!(
-        alice.open("/tmp/l1", OpenMode::Read),
-        Err(OsError::InvalidArgument(_))
-    ));
+    // A cycle of symlinks surfaces as the typed ELOOP-style error, not a
+    // generic invalid-argument (and certainly not an unwind).
+    assert!(matches!(alice.open("/tmp/l1", OpenMode::Read), Err(OsError::SymlinkLoop)));
+    assert!(matches!(alice.stat("/tmp/l1"), Err(OsError::SymlinkLoop)));
+    // lstat does not follow the final component, so it still succeeds.
+    assert!(alice.lstat("/tmp/l1").is_ok());
 }
 
 #[test]

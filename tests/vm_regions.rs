@@ -466,6 +466,130 @@ fn copy_and_label_without_caps_fails() {
     assert_eq!(vm.stats().copy_and_label, 0);
 }
 
+/// Secure termination (§4.3.3): a catchless region that faults after
+/// mutating labeled state is *aborted* — every labeled write is rolled
+/// back to the entry snapshot, so no partial update survives the fault.
+#[test]
+fn aborted_region_rolls_back_labeled_writes() {
+    let mut pb = ProgramBuilder::new();
+    let _state = pb.add_class("State", 2);
+    // body(state): state.x = 99; state.y = 100; throw 7
+    let body = pb.region("body", 1, 1, |b| {
+        b.load(0).push_int(99).put_field(0);
+        b.load(0).push_int(100).put_field(1);
+        b.push_int(7).throw();
+        b.ret();
+    });
+    let pair_h = pb.add_pair_spec(&[0], &[]);
+    let spec = pb.add_region_spec(pair_h, &[(0, CapKind::Plus)], None);
+    pb.func("main", 1, false, 1, |b| {
+        b.load(0).call_secure(body, spec).ret();
+    });
+    let program = pb.finish().unwrap();
+
+    let h = fresh_tag(41);
+    let mut vm = Vm::new(program, vec![h], BarrierMode::Dynamic);
+    let mut caps = CapSet::new();
+    caps.grant(Capability::plus(h));
+    vm.set_thread_caps(caps);
+    let lab = SecPair::secrecy_only(Label::singleton(h));
+    let state = vm.host_alloc_object(ClassId(0), Some(lab)).unwrap();
+    vm.host_put_field(state, 0, Value::Int(1)).unwrap();
+    vm.host_put_field(state, 1, Value::Int(2)).unwrap();
+
+    // Other tests in this binary abort regions concurrently, so assert a
+    // monotonic delta on the global counter, not an absolute value.
+    let global_before = laminar_vm::regions_aborted();
+    vm.call_by_name("main", &[Value::Ref(state)]).unwrap();
+
+    // The throw was suppressed at the boundary AND the region's writes
+    // were undone: the labeled object is byte-for-byte as it was.
+    assert_eq!(vm.stats().exceptions_suppressed, 1);
+    assert_eq!(vm.stats().regions_aborted, 1);
+    assert!(laminar_vm::regions_aborted() > global_before);
+    assert_eq!(vm.host_get_field(state, 0).unwrap(), Value::Int(1));
+    assert_eq!(vm.host_get_field(state, 1).unwrap(), Value::Int(2));
+}
+
+/// The catch-present contrast: with a catch block the region's writes
+/// persist (the catch repairs invariants itself — Figure 5), so the undo
+/// log must NOT fire.
+#[test]
+fn caught_region_keeps_writes_for_the_catch_to_repair() {
+    let mut pb = ProgramBuilder::new();
+    let _state = pb.add_class("State", 1);
+    let catch = pb.region("catch", 1, 1, |b| {
+        b.ret();
+    });
+    let body = pb.region("body", 1, 1, |b| {
+        b.load(0).push_int(99).put_field(0);
+        b.push_int(7).throw();
+        b.ret();
+    });
+    let pair_h = pb.add_pair_spec(&[0], &[]);
+    let spec = pb.add_region_spec(pair_h, &[(0, CapKind::Plus)], Some(catch));
+    pb.func("main", 1, false, 1, |b| {
+        b.load(0).call_secure(body, spec).ret();
+    });
+    let program = pb.finish().unwrap();
+
+    let h = fresh_tag(42);
+    let mut vm = Vm::new(program, vec![h], BarrierMode::Dynamic);
+    let mut caps = CapSet::new();
+    caps.grant(Capability::plus(h));
+    vm.set_thread_caps(caps);
+    let lab = SecPair::secrecy_only(Label::singleton(h));
+    let state = vm.host_alloc_object(ClassId(0), Some(lab)).unwrap();
+    vm.host_put_field(state, 0, Value::Int(1)).unwrap();
+
+    vm.call_by_name("main", &[Value::Ref(state)]).unwrap();
+    assert_eq!(vm.stats().regions_aborted, 0);
+    assert_eq!(vm.host_get_field(state, 0).unwrap(), Value::Int(99));
+}
+
+/// Nested regions: the inner region's normal exit commits its writes into
+/// the outer scope, and an outer abort then rolls back *both* regions'
+/// writes — the undo log is scoped per frame, not truncated on inner exit.
+#[test]
+fn outer_abort_undoes_committed_inner_region_writes() {
+    let mut pb = ProgramBuilder::new();
+    let _state = pb.add_class("State", 2);
+    let pair_h = pb.add_pair_spec(&[0], &[]);
+    // inner(state): state.y = 100 (runs to completion)
+    let inner = pb.region("inner", 1, 1, |b| {
+        b.load(0).push_int(100).put_field(1);
+        b.ret();
+    });
+    let inner_spec = pb.add_region_spec(pair_h, &[(0, CapKind::Plus)], None);
+    // outer(state): state.x = 99; inner(state); throw 7
+    let outer = pb.region("outer", 1, 1, |b| {
+        b.load(0).push_int(99).put_field(0);
+        b.load(0).call_secure(inner, inner_spec);
+        b.push_int(7).throw();
+        b.ret();
+    });
+    let outer_spec = pb.add_region_spec(pair_h, &[(0, CapKind::Plus)], None);
+    pb.func("main", 1, false, 1, |b| {
+        b.load(0).call_secure(outer, outer_spec).ret();
+    });
+    let program = pb.finish().unwrap();
+
+    let h = fresh_tag(43);
+    let mut vm = Vm::new(program, vec![h], BarrierMode::Dynamic);
+    let mut caps = CapSet::new();
+    caps.grant(Capability::plus(h));
+    vm.set_thread_caps(caps);
+    let lab = SecPair::secrecy_only(Label::singleton(h));
+    let state = vm.host_alloc_object(ClassId(0), Some(lab)).unwrap();
+    vm.host_put_field(state, 0, Value::Int(1)).unwrap();
+    vm.host_put_field(state, 1, Value::Int(2)).unwrap();
+
+    vm.call_by_name("main", &[Value::Ref(state)]).unwrap();
+    assert_eq!(vm.stats().regions_aborted, 1);
+    assert_eq!(vm.host_get_field(state, 0).unwrap(), Value::Int(1));
+    assert_eq!(vm.host_get_field(state, 1).unwrap(), Value::Int(2));
+}
+
 /// Region-entry failures terminate (propagate) rather than suppress
 /// (§5.1: "the program terminates at L1").
 #[test]
