@@ -1,0 +1,94 @@
+//! Concurrent epoch handling in the flow-check cache (PR 4).
+//!
+//! The sharded kernel issues flow checks from many threads at once, so
+//! the memo cache's epoch eviction (whole-shard clears) now races real
+//! readers: one thread can be probing a shard while another's insert
+//! clears it. The invariant is the usual one, sharpened by concurrency:
+//! a cleared/half-populated/thrashing cache may change timing, never
+//! verdicts.
+//!
+//! This file is its own test binary (its own process) because fault
+//! modes are process-global; nothing else races the armed mode here.
+//!
+//! The test is compiled only with the `fault-injection` feature (on for
+//! every workspace build — `laminar-testkit` turns it on — but off for
+//! a bare `cargo test -p laminar-difc`).
+#![cfg(feature = "fault-injection")]
+
+use laminar_difc::cache::fault::{set_fault_mode, FaultMode};
+use laminar_difc::{Label, SecPair, Tag};
+use laminar_util::SplitMix64;
+
+/// Tag universe offset so these interned labels collide with no other
+/// test binary's (interning is append-only and process-global).
+const BASE: u64 = 990_000;
+
+fn universe() -> Vec<SecPair> {
+    // All (secrecy, integrity) combinations over three tags: 64 pairs,
+    // enough to populate several cache shards.
+    let tags: Vec<Tag> = (0..3).map(|i| Tag::from_raw(BASE + i)).collect();
+    let labels: Vec<Label> = (0u8..8)
+        .map(|m| {
+            Label::from_tags(
+                tags.iter()
+                    .enumerate()
+                    .filter(|(b, _)| m & (1 << b) != 0)
+                    .map(|(_, &t)| t),
+            )
+        })
+        .collect();
+    let mut pairs = Vec::new();
+    for s in &labels {
+        for i in &labels {
+            pairs.push(SecPair::new(s.clone(), i.clone()));
+        }
+    }
+    pairs
+}
+
+/// Four threads hammer cached flow checks over a shared label universe
+/// while `EpochChurn` clears all shards on every 32nd insert — so
+/// probes constantly race evictions and re-inserts of the same keys.
+/// Every verdict must equal the uncached structural recomputation made
+/// before the churn was armed.
+#[test]
+fn epoch_churn_under_concurrency_never_changes_verdicts() {
+    let pairs = universe();
+    let expected: Vec<Vec<bool>> =
+        pairs.iter().map(|a| pairs.iter().map(|b| a.flows_to(b)).collect()).collect();
+
+    set_fault_mode(FaultMode::EpochChurn);
+    std::thread::scope(|s| {
+        for w in 0..4u64 {
+            let (pairs, expected) = (&pairs, &expected);
+            s.spawn(move || {
+                let mut rng = SplitMix64::new(0xE70C_4000 + w);
+                for _ in 0..40_000 {
+                    let i = (rng.next_u64() % pairs.len() as u64) as usize;
+                    let j = (rng.next_u64() % pairs.len() as u64) as usize;
+                    assert_eq!(
+                        pairs[i].flows_to_cached(&pairs[j]),
+                        expected[i][j],
+                        "churned cache diverged: {} -> {}",
+                        pairs[i],
+                        pairs[j]
+                    );
+                    // The label-level subset entries churn too.
+                    assert_eq!(
+                        pairs[i].secrecy().is_subset_of_cached(pairs[j].secrecy()),
+                        pairs[i].secrecy().is_subset_of(pairs[j].secrecy()),
+                    );
+                }
+            });
+        }
+    });
+    set_fault_mode(FaultMode::None);
+
+    // And after the storm, a cold-start re-probe of the full matrix
+    // (fresh inserts into whatever the churn left behind) still agrees.
+    for (a, row) in pairs.iter().zip(&expected) {
+        for (b, &want) in pairs.iter().zip(row) {
+            assert_eq!(a.flows_to_cached(b), want);
+        }
+    }
+}

@@ -48,6 +48,15 @@ pub enum OsError {
     /// transaction was rolled back: fail-closed, the syscall had no
     /// effect on any security state.
     Internal,
+    /// Internal control-flow sentinel: the syscall body needs a shard
+    /// lock (identified by the raw [`ShardKey`] payload) that cannot be
+    /// acquired without violating the total lock order. The dispatcher
+    /// rolls back, widens the lock footprint, and restarts the syscall.
+    /// Never escapes the kernel: user-visible results never carry it.
+    ///
+    /// [`ShardKey`]: https://docs.rs/laminar-os
+    #[doc(hidden)]
+    Retry(u16),
 }
 
 impl fmt::Display for OsError {
@@ -75,6 +84,9 @@ impl fmt::Display for OsError {
             OsError::QuotaExceeded(what) => write!(f, "quota exceeded: {what}"),
             OsError::Internal => {
                 f.write_str("internal kernel fault (syscall rolled back)")
+            }
+            OsError::Retry(shard) => {
+                write!(f, "kernel-internal restart for shard {shard:#x}")
             }
         }
     }

@@ -1,5 +1,5 @@
-//! The simulated kernel: task/process/inode tables, boot, login, and the
-//! glue that invokes the LSM hooks.
+//! The simulated kernel: sharded task/process/inode tables, boot, login,
+//! the parallel syscall dispatcher, and the glue that invokes LSM hooks.
 //!
 //! The Laminar OS "extends a standard operating system with a Laminar
 //! security module for information flow control" (§4.1). Here the
@@ -8,37 +8,52 @@
 //! very same kernel can run with [`crate::lsm::NullModule`] (stock Linux
 //! baseline) or [`crate::laminar_lsm::LaminarModule`] — which is exactly
 //! how Table 2 of the paper compares unmodified Linux against Laminar.
+//!
+//! Since PR 4 the kernel has no big lock: state lives in the sharded
+//! tables of [`crate::shard`], syscalls lock only the shards they touch
+//! (in the total order), and syscalls from distinct tasks on disjoint
+//! shards run in parallel. Each committing syscall takes an atomic
+//! *commit ticket* while still holding its shard locks; the resulting
+//! ticket order is a linearization witness the conformance testkit
+//! replays through its single-threaded oracle.
 
 use crate::error::{OsError, OsResult};
 use crate::lsm::{Access, SecurityModule};
+use crate::shard::{ShardKey, Tables, SHARD_COUNT};
 use crate::task::{ProcessId, ProcessStruct, TaskId, TaskSec, TaskStruct, UserId};
-use crate::txn::{Quotas, Txn};
-use crate::vfs::file::FdTable;
+use crate::txn::{IdCache, Quotas, Txn};
 use crate::vfs::inode::{Inode, InodeId, InodeKind, Xattrs};
 use laminar_difc::{CapSet, Label, SecPair, Tag, TagAllocator};
 use laminar_util::sync::Mutex;
-use std::collections::{BTreeMap, HashMap};
+use std::cell::Cell;
+use std::collections::{BTreeMap, BTreeSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Mutable kernel state, guarded by the big kernel lock.
-pub(crate) struct KState {
-    pub tasks: HashMap<TaskId, TaskStruct>,
-    pub processes: HashMap<ProcessId, ProcessStruct>,
-    pub inodes: HashMap<InodeId, Inode>,
-    pub root: InodeId,
-    pub next_task: u64,
-    pub next_proc: u64,
-    pub next_inode: u64,
-    /// Persistent per-user capability store (§4.4: "The OS stores the
-    /// persistent capabilities for each user in a file. On login, the OS
-    /// gives the login shell all of the user's persistent capabilities").
-    pub persistent_caps: HashMap<UserId, CapSet>,
-    pub homes: HashMap<UserId, InodeId>,
-    /// Count of LSM hook invocations (observability for tests/benches).
-    pub hook_calls: u64,
-    /// Tags minted per user via `alloc_tag` (for the tag quota).
-    pub tags_minted: HashMap<UserId, u64>,
+/// One entry of the commit-order log: syscall `seq` (the commit ticket)
+/// was committed on behalf of `task`. Tickets are taken while the
+/// syscall still holds its shard locks, so for any two syscalls that
+/// touched a common shard the ticket order matches the order their
+/// effects were applied — the log is a valid linearization witness.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct CommitRecord {
+    /// Global commit ticket (1-based, dense across all threads).
+    pub seq: u64,
+    /// Task the syscall ran as.
+    pub task: TaskId,
+}
+
+thread_local! {
+    static LAST_SEQ: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The commit ticket of the most recent syscall dispatched *on this
+/// thread* (0 before any). Lets a test thread pair each syscall's
+/// outcome with its position in the kernel-wide commit order.
+#[must_use]
+pub fn last_syscall_seq() -> u64 {
+    LAST_SEQ.with(Cell::get)
 }
 
 /// A one-shot failpoint armed inside the kernel by the conformance
@@ -64,7 +79,7 @@ pub enum SyscallFailpoint {
 #[derive(Default)]
 pub(crate) struct Failpoints {
     armed: std::sync::atomic::AtomicU8,
-    fired: std::sync::atomic::AtomicBool,
+    fired: AtomicBool,
 }
 
 #[cfg(feature = "fault-injection")]
@@ -83,19 +98,16 @@ impl Failpoints {
     }
 
     fn arm(&self, fp: SyscallFailpoint) {
-        use std::sync::atomic::Ordering;
         self.fired.store(false, Ordering::SeqCst);
         self.armed.store(Self::code(fp), Ordering::SeqCst);
     }
 
     fn take_fired(&self) -> bool {
-        use std::sync::atomic::Ordering;
         self.armed.store(Self::NONE, Ordering::SeqCst);
         self.fired.swap(false, Ordering::SeqCst)
     }
 
     fn take_if(&self, code: u8) -> bool {
-        use std::sync::atomic::Ordering;
         if self
             .armed
             .compare_exchange(code, Self::NONE, Ordering::SeqCst, Ordering::SeqCst)
@@ -106,6 +118,19 @@ impl Failpoints {
         } else {
             false
         }
+    }
+
+    /// Snapshot of the armed/fired flags, taken before each dispatch
+    /// attempt so a footprint restart can rewind a consumed-but-unfired
+    /// arming. A failpoint that genuinely fired ends its attempt with a
+    /// non-restart outcome, so restores never resurrect a fired one.
+    pub(crate) fn snapshot(&self) -> (u8, bool) {
+        (self.armed.load(Ordering::SeqCst), self.fired.load(Ordering::SeqCst))
+    }
+
+    pub(crate) fn restore(&self, (armed, fired): (u8, bool)) {
+        self.armed.store(armed, Ordering::SeqCst);
+        self.fired.store(fired, Ordering::SeqCst);
     }
 
     pub(crate) fn fire_panic_at_hook(&self) {
@@ -147,7 +172,25 @@ impl Failpoints {
 /// # }
 /// ```
 pub struct Kernel {
-    pub(crate) state: Mutex<KState>,
+    pub(crate) tables: Tables,
+    /// The root inode id — fixed at boot, so reads need no lock.
+    pub(crate) root: InodeId,
+    pub(crate) next_task: AtomicU64,
+    pub(crate) next_proc: AtomicU64,
+    pub(crate) next_inode: AtomicU64,
+    /// Live-inode count for the quota (approximate under races by at
+    /// most the number of in-flight transactions; exact when quiescent).
+    pub(crate) inode_count: AtomicU64,
+    /// Monotonic count of LSM hook invocations.
+    pub(crate) hook_counter: AtomicU64,
+    /// Commit-ticket source (see [`CommitRecord`]).
+    commit_seq: AtomicU64,
+    commit_log_on: AtomicBool,
+    commit_log: Mutex<Vec<CommitRecord>>,
+    /// When set, every syscall additionally serialises on `serial_lock`,
+    /// emulating the pre-shard big kernel lock (bench baseline mode).
+    serial_on: AtomicBool,
+    serial_lock: Mutex<()>,
     pub(crate) module: Box<dyn SecurityModule>,
     pub(crate) tags: TagAllocator,
     pub(crate) quotas: Quotas,
@@ -159,12 +202,11 @@ pub struct Kernel {
 
 impl std::fmt::Debug for Kernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let st = self.state.lock();
         f.debug_struct("Kernel")
             .field("module", &self.module.name())
-            .field("tasks", &st.tasks.len())
-            .field("inodes", &st.inodes.len())
-            .finish()
+            .field("inodes", &self.inode_count.load(Ordering::Relaxed))
+            .field("commits", &self.commit_seq.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
     }
 }
 
@@ -200,55 +242,19 @@ impl Kernel {
         let admin_tag = tags.fresh();
         let admin_integrity = SecPair::integrity_only(Label::singleton(admin_tag));
 
-        let mut inodes = HashMap::new();
-        let mut next_inode = 1u64;
-        let mut mkino = |kind: InodeKind, labels: SecPair| {
-            let id = InodeId(next_inode);
-            next_inode += 1;
-            inodes.insert(id, Inode { id, kind, xattrs: Xattrs { labels }, nlink: 1 });
-            id
-        };
-
-        let root =
-            mkino(InodeKind::Dir { entries: BTreeMap::new() }, admin_integrity.clone());
-        let etc =
-            mkino(InodeKind::Dir { entries: BTreeMap::new() }, admin_integrity.clone());
-        let home =
-            mkino(InodeKind::Dir { entries: BTreeMap::new() }, admin_integrity.clone());
-        let tmp =
-            mkino(InodeKind::Dir { entries: BTreeMap::new() }, SecPair::unlabeled());
-        let dev =
-            mkino(InodeKind::Dir { entries: BTreeMap::new() }, SecPair::unlabeled());
-        let null = mkino(InodeKind::NullDevice, SecPair::unlabeled());
-
-        if let Some(InodeKind::Dir { entries }) =
-            inodes.get_mut(&root).map(|n| &mut n.kind)
-        {
-            entries.insert("etc".into(), etc);
-            entries.insert("home".into(), home);
-            entries.insert("tmp".into(), tmp);
-            entries.insert("dev".into(), dev);
-        }
-        if let Some(InodeKind::Dir { entries }) =
-            inodes.get_mut(&dev).map(|n| &mut n.kind)
-        {
-            entries.insert("null".into(), null);
-        }
-
-        Arc::new(Kernel {
-            state: Mutex::new(KState {
-                tasks: HashMap::new(),
-                processes: HashMap::new(),
-                inodes,
-                root,
-                next_task: 1,
-                next_proc: 1,
-                next_inode,
-                persistent_caps: HashMap::new(),
-                homes: HashMap::new(),
-                hook_calls: 0,
-                tags_minted: HashMap::new(),
-            }),
+        let kernel = Kernel {
+            tables: Tables::new(),
+            root: InodeId(1),
+            next_task: AtomicU64::new(1),
+            next_proc: AtomicU64::new(1),
+            next_inode: AtomicU64::new(7),
+            inode_count: AtomicU64::new(0),
+            hook_counter: AtomicU64::new(0),
+            commit_seq: AtomicU64::new(0),
+            commit_log_on: AtomicBool::new(false),
+            commit_log: Mutex::new(Vec::new()),
+            serial_on: AtomicBool::new(false),
+            serial_lock: Mutex::new(()),
             module: Box::new(module),
             tags,
             quotas,
@@ -256,7 +262,35 @@ impl Kernel {
             failpoints: Failpoints::default(),
             tcb_tag,
             admin_tag,
-        })
+        };
+
+        // Fixed boot layout: 1=/ 2=/etc 3=/home 4=/tmp 5=/dev 6=/dev/null.
+        let dir = |entries: BTreeMap<String, InodeId>| InodeKind::Dir { entries };
+        let boot_nodes: [(InodeId, InodeKind, SecPair); 6] = [
+            (
+                InodeId(1),
+                dir(BTreeMap::from([
+                    ("etc".into(), InodeId(2)),
+                    ("home".into(), InodeId(3)),
+                    ("tmp".into(), InodeId(4)),
+                    ("dev".into(), InodeId(5)),
+                ])),
+                admin_integrity.clone(),
+            ),
+            (InodeId(2), dir(BTreeMap::new()), admin_integrity.clone()),
+            (InodeId(3), dir(BTreeMap::new()), admin_integrity),
+            (InodeId(4), dir(BTreeMap::new()), SecPair::unlabeled()),
+            (
+                InodeId(5),
+                dir(BTreeMap::from([("null".into(), InodeId(6))])),
+                SecPair::unlabeled(),
+            ),
+            (InodeId(6), InodeKind::NullDevice, SecPair::unlabeled()),
+        ];
+        for (id, kind, labels) in boot_nodes {
+            kernel.insert_inode_direct(id, kind, labels);
+        }
+        Arc::new(kernel)
     }
 
     /// The resource quotas this kernel was booted with.
@@ -265,45 +299,178 @@ impl Kernel {
         &self.quotas
     }
 
-    /// Runs one syscall body as a transaction under a panic boundary.
+    /// Runs one syscall body as a transaction under a panic boundary,
+    /// with two-phase shard locking and footprint restart.
     ///
-    /// The big kernel lock is held across the whole dispatch, including
-    /// the `catch_unwind`, so an internal fault can never poison it. On
-    /// `Ok` the transaction commits; on `Err` *or* a caught panic the
-    /// undo journal restores every mutated entry and the caller sees a
-    /// typed error — [`OsError::Internal`] for faults — while the kernel
-    /// keeps serving every other task.
-    pub(crate) fn syscall<T>(
+    /// The body runs against a [`Txn`] that pre-locks the calling task's
+    /// shard and acquires further shards on demand in ascending key
+    /// order. If the body needs a shard below one it already holds, the
+    /// accessor returns the internal [`OsError::Retry`] sentinel; the
+    /// journal is rolled back, the shard joins the lock footprint, and
+    /// the body reruns with the whole footprint pre-locked — ids minted
+    /// by the attempt replay positionally (see [`IdCache`]), so the
+    /// footprint converges and the loop terminates within
+    /// `SHARD_COUNT + 8` attempts (fail-closed [`OsError::Internal`]
+    /// otherwise).
+    ///
+    /// On `Ok` the transaction commits; on `Err` *or* a caught panic the
+    /// undo journal restores every mutated entry — touching only held
+    /// shards — and the caller sees a typed error, while the kernel
+    /// keeps serving every other task. Every non-restart exit takes a
+    /// commit ticket while the shard locks are still held.
+    pub(crate) fn syscall_on<T>(
         &self,
-        f: impl FnOnce(&mut Txn<'_>) -> OsResult<T>,
+        tid: TaskId,
+        mut f: impl FnMut(&mut Txn<'_>) -> OsResult<T>,
     ) -> OsResult<T> {
-        let mut st = self.state.lock();
-        let mut txn = Txn::new(
-            &mut st,
-            &self.quotas,
+        // Big-lock emulation mode for the bench baseline: one global
+        // mutex spans the entire dispatch, serialising all syscalls.
+        let _serial = if self.serial_on.load(Ordering::Relaxed) {
+            Some(self.serial_lock.lock())
+        } else {
+            None
+        };
+        let mut footprint: BTreeSet<ShardKey> = BTreeSet::new();
+        footprint.insert(ShardKey::task(tid));
+        let mut ids = IdCache::default();
+        let mut attempts = 0usize;
+        loop {
+            attempts += 1;
             #[cfg(feature = "fault-injection")]
-            &self.failpoints,
-        );
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            let r = f(&mut txn);
-            #[cfg(feature = "fault-injection")]
-            if r.is_ok() {
-                self.failpoints.fire_abort_late();
-            }
-            r
-        }));
-        match outcome {
-            Ok(Ok(v)) => Ok(v),
-            Ok(Err(e)) => {
-                txn.rollback();
-                Err(e)
-            }
-            Err(_panic) => {
-                txn.rollback();
-                crate::stats::note_syscall_rolled_back();
-                Err(OsError::Internal)
+            let fp_snapshot = self.failpoints.snapshot();
+            let mut txn = Txn::begin(self, &footprint, &mut ids);
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let r = f(&mut txn);
+                #[cfg(feature = "fault-injection")]
+                if r.is_ok() {
+                    self.failpoints.fire_abort_late();
+                }
+                r
+            }));
+            match outcome {
+                Ok(Ok(v)) => {
+                    txn.flush_hooks();
+                    self.commit_ticket(tid);
+                    drop(txn);
+                    return Ok(v);
+                }
+                Ok(Err(OsError::Retry(k))) => {
+                    txn.rollback();
+                    if attempts > SHARD_COUNT + 8 {
+                        // Should be unreachable: the footprint only grows
+                        // and there are SHARD_COUNT shards. Fail closed.
+                        txn.flush_hooks();
+                        self.commit_ticket(tid);
+                        drop(txn);
+                        crate::stats::note_syscall_rolled_back();
+                        return Err(OsError::Internal);
+                    }
+                    drop(txn);
+                    #[cfg(feature = "fault-injection")]
+                    self.failpoints.restore(fp_snapshot);
+                    footprint.insert(ShardKey(k));
+                }
+                Ok(Err(e)) => {
+                    txn.rollback();
+                    txn.flush_hooks();
+                    self.commit_ticket(tid);
+                    drop(txn);
+                    return Err(e);
+                }
+                Err(_panic) => {
+                    txn.rollback();
+                    txn.flush_hooks();
+                    self.commit_ticket(tid);
+                    drop(txn);
+                    crate::stats::note_syscall_rolled_back();
+                    return Err(OsError::Internal);
+                }
             }
         }
+    }
+
+    /// Takes the next commit ticket (while the caller still holds its
+    /// shard locks) and records it in the commit log when enabled.
+    fn commit_ticket(&self, tid: TaskId) {
+        let seq = self.commit_seq.fetch_add(1, Ordering::SeqCst) + 1;
+        LAST_SEQ.with(|c| c.set(seq));
+        if self.commit_log_on.load(Ordering::Relaxed) {
+            self.commit_log.lock().push(CommitRecord { seq, task: tid });
+        }
+    }
+
+    /// Enables (clearing any previous contents) or disables the
+    /// commit-order log consumed by the concurrent conformance regime.
+    pub fn set_commit_log_enabled(&self, on: bool) {
+        if on {
+            self.commit_log.lock().clear();
+        }
+        self.commit_log_on.store(on, Ordering::SeqCst);
+    }
+
+    /// Drains the commit-order log, sorted by commit ticket. Records may
+    /// be appended out of ticket order (the log mutex is taken after the
+    /// ticket), so the drain sorts before returning.
+    pub fn drain_commit_log(&self) -> Vec<CommitRecord> {
+        let mut log = std::mem::take(&mut *self.commit_log.lock());
+        log.sort_by_key(|r| r.seq);
+        log
+    }
+
+    /// Switches big-lock emulation on or off: when on, every syscall
+    /// additionally serialises on one global mutex. This is the
+    /// pre-shard baseline the SMP benchmark compares against.
+    pub fn set_serial_mode(&self, on: bool) {
+        self.serial_on.store(on, Ordering::SeqCst);
+    }
+
+    /// Runs `f(worker_index, task_set)` on one OS thread per task set,
+    /// concurrently, returning each worker's result in order. Each
+    /// worker owns a *disjoint* set of tasks and issues real syscalls
+    /// through its handles; the sharded kernel executes them in
+    /// parallel.
+    ///
+    /// # Panics
+    /// Panics if a handle belongs to another kernel, if two sets share a
+    /// task id, or (propagated) if a worker panics.
+    pub fn run_parallel<R, F>(
+        self: &Arc<Self>,
+        task_sets: Vec<Vec<TaskHandle>>,
+        f: F,
+    ) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, &[TaskHandle]) -> R + Sync,
+    {
+        let mut seen = std::collections::HashSet::new();
+        for set in &task_sets {
+            for h in set {
+                assert!(
+                    Arc::ptr_eq(&h.kernel, self),
+                    "run_parallel: handle from another kernel"
+                );
+                assert!(
+                    seen.insert(h.tid),
+                    "run_parallel: task sets must be disjoint ({} appears twice)",
+                    h.tid
+                );
+            }
+        }
+        let f = &f;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = task_sets
+                .iter()
+                .enumerate()
+                .map(|(i, set)| s.spawn(move || f(i, set)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(p) => std::panic::resume_unwind(p),
+                })
+                .collect()
+        })
     }
 
     /// Arms a one-shot [`SyscallFailpoint`] (conformance testkit).
@@ -342,37 +509,51 @@ impl Kernel {
     /// Number of LSM hook invocations so far (for tests and benches).
     #[must_use]
     pub fn hook_calls(&self) -> u64 {
-        self.state.lock().hook_calls
+        self.hook_counter.load(Ordering::Relaxed)
+    }
+
+    /// Inserts a fully formed inode outside any transaction (boot and
+    /// install-time administration; locks exactly one shard).
+    fn insert_inode_direct(&self, id: InodeId, kind: InodeKind, labels: SecPair) {
+        self.tables
+            .inodes_for(id)
+            .insert(id, Inode { id, kind, xattrs: Xattrs { labels }, nlink: 1 });
+        self.inode_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Allocates and inserts a fresh inode outside any transaction.
+    fn alloc_inode_direct(&self, kind: InodeKind, labels: SecPair) -> InodeId {
+        let id = InodeId(self.next_inode.fetch_add(1, Ordering::Relaxed));
+        self.insert_inode_direct(id, kind, labels);
+        id
     }
 
     /// Registers a user account and creates their home directory
     /// `/home/<name>` (unlabeled, so the user does not need the
     /// administrator's integrity tag to use it).
     pub fn add_user(self: &Arc<Self>, user: UserId, name: &str) {
-        let mut st = self.state.lock();
-        let id = InodeId(st.next_inode);
-        st.next_inode += 1;
-        st.inodes.insert(
-            id,
-            Inode {
-                id,
-                kind: InodeKind::Dir { entries: BTreeMap::new() },
-                xattrs: Xattrs::default(),
-                nlink: 1,
-            },
+        let id = self.alloc_inode_direct(
+            InodeKind::Dir { entries: BTreeMap::new() },
+            SecPair::unlabeled(),
         );
-        let root = st.root;
-        let home = match st.inodes.get(&root).map(|n| &n.kind) {
-            Some(InodeKind::Dir { entries }) => entries.get("home").copied(),
-            _ => None,
+        let home = {
+            let root_shard = self.tables.inodes_for(self.root);
+            match root_shard.get(&self.root).map(|n| &n.kind) {
+                Some(InodeKind::Dir { entries }) => entries.get("home").copied(),
+                _ => None,
+            }
         };
-        if let Some(InodeKind::Dir { entries }) =
-            home.and_then(|h| st.inodes.get_mut(&h)).map(|n| &mut n.kind)
-        {
-            entries.insert(name.to_string(), id);
+        if let Some(h) = home {
+            let mut shard = self.tables.inodes_for(h);
+            if let Some(InodeKind::Dir { entries }) =
+                shard.get_mut(&h).map(|n| &mut n.kind)
+            {
+                entries.insert(name.to_string(), id);
+            }
         }
-        st.homes.insert(user, id);
-        st.persistent_caps.entry(user).or_default();
+        let mut reg = self.tables.registry();
+        reg.homes.insert(user, id);
+        reg.persistent_caps.entry(user).or_default();
     }
 
     /// Install-time administration: creates a directory with the given
@@ -385,23 +566,7 @@ impl Kernel {
     /// # Errors
     /// [`OsError::NotFound`]/[`OsError::Exists`] on path problems.
     pub fn install_dir(self: &Arc<Self>, path: &str, labels: SecPair) -> OsResult<()> {
-        let mut st = self.state.lock();
-        let (parent, name) = Self::admin_resolve(&st, path)?;
-        let id = Kernel::alloc_inode(
-            &mut st,
-            InodeKind::Dir { entries: BTreeMap::new() },
-            labels,
-        );
-        match st.inodes.get_mut(&parent).map(|n| &mut n.kind) {
-            Some(InodeKind::Dir { entries }) => {
-                if entries.contains_key(&name) {
-                    return Err(OsError::Exists);
-                }
-                entries.insert(name, id);
-                Ok(())
-            }
-            _ => Err(OsError::NotADirectory),
-        }
+        self.install_node(path, InodeKind::Dir { entries: BTreeMap::new() }, labels)
     }
 
     /// Install-time administration: creates a labeled file with initial
@@ -415,13 +580,38 @@ impl Kernel {
         labels: SecPair,
         data: &[u8],
     ) -> OsResult<()> {
-        let mut st = self.state.lock();
-        let (parent, name) = Self::admin_resolve(&st, path)?;
-        let id =
-            Kernel::alloc_inode(&mut st, InodeKind::File { data: data.to_vec() }, labels);
-        match st.inodes.get_mut(&parent).map(|n| &mut n.kind) {
+        self.install_node(path, InodeKind::File { data: data.to_vec() }, labels)
+    }
+
+    fn install_node(
+        self: &Arc<Self>,
+        path: &str,
+        kind: InodeKind,
+        labels: SecPair,
+    ) -> OsResult<()> {
+        let (parent, name) = self.admin_resolve(path)?;
+        {
+            let shard = self.tables.inodes_for(parent);
+            match shard.get(&parent).map(|n| &n.kind) {
+                Some(InodeKind::Dir { entries }) => {
+                    if entries.contains_key(&name) {
+                        return Err(OsError::Exists);
+                    }
+                }
+                _ => return Err(OsError::NotADirectory),
+            }
+        }
+        // The parent guard is dropped before allocating: the child may
+        // hash to the same (or a lower-ranked) inode shard.
+        let id = self.alloc_inode_direct(kind, labels);
+        let mut shard = self.tables.inodes_for(parent);
+        match shard.get_mut(&parent).map(|n| &mut n.kind) {
             Some(InodeKind::Dir { entries }) => {
                 if entries.contains_key(&name) {
+                    // Lost an install race; undo the allocation.
+                    drop(shard);
+                    self.tables.inodes_for(id).remove(&id);
+                    self.inode_count.fetch_sub(1, Ordering::Relaxed);
                     return Err(OsError::Exists);
                 }
                 entries.insert(name, id);
@@ -431,23 +621,30 @@ impl Kernel {
         }
     }
 
+    /// Reads one directory entry, locking only that directory's shard.
+    fn admin_lookup_child(&self, dir: InodeId, name: &str) -> OsResult<InodeId> {
+        let shard = self.tables.inodes_for(dir);
+        match shard.get(&dir).map(|n| &n.kind) {
+            Some(InodeKind::Dir { entries }) => {
+                entries.get(name).copied().ok_or(OsError::NotFound)
+            }
+            Some(_) => Err(OsError::NotADirectory),
+            None => Err(OsError::NotFound),
+        }
+    }
+
     /// Checkless absolute-path resolution for install-time operations.
-    fn admin_resolve(st: &KState, path: &str) -> OsResult<(InodeId, String)> {
+    /// Locks one directory shard at a time (never two at once).
+    fn admin_resolve(&self, path: &str) -> OsResult<(InodeId, String)> {
         let rel = path
             .strip_prefix('/')
             .ok_or(OsError::InvalidArgument("install paths must be absolute"))?;
         let comps: Vec<&str> = rel.split('/').filter(|c| !c.is_empty()).collect();
         let (last, dirs) =
             comps.split_last().ok_or(OsError::InvalidArgument("empty path"))?;
-        let mut cur = st.root;
+        let mut cur = self.root;
         for c in dirs {
-            let node = st.inodes.get(&cur).ok_or(OsError::NotFound)?;
-            match &node.kind {
-                InodeKind::Dir { entries } => {
-                    cur = *entries.get(*c).ok_or(OsError::NotFound)?;
-                }
-                _ => return Err(OsError::NotADirectory),
-            }
+            cur = self.admin_lookup_child(cur, c)?;
         }
         Ok((cur, (*last).to_string()))
     }
@@ -467,13 +664,10 @@ impl Kernel {
         self: &Arc<Self>,
         path: &str,
     ) -> OsResult<(SecPair, Option<Vec<u8>>)> {
-        let st = self.state.lock();
-        let (parent, name) = Self::admin_resolve(&st, path)?;
-        let id = match &st.inodes.get(&parent).ok_or(OsError::NotFound)?.kind {
-            InodeKind::Dir { entries } => *entries.get(&name).ok_or(OsError::NotFound)?,
-            _ => return Err(OsError::NotADirectory),
-        };
-        let inode = st.inodes.get(&id).ok_or(OsError::NotFound)?;
+        let (parent, name) = self.admin_resolve(path)?;
+        let id = self.admin_lookup_child(parent, &name)?;
+        let shard = self.tables.inodes_for(id);
+        let inode = shard.get(&id).ok_or(OsError::NotFound)?;
         let data = match &inode.kind {
             InodeKind::File { data } => Some(data.clone()),
             _ => None,
@@ -481,12 +675,40 @@ impl Kernel {
         Ok((inode.labels().clone(), data))
     }
 
-    /// Fault injection for the conformance testkit: poisons the big
-    /// kernel lock so the next syscall takes the poison-recovery path of
-    /// [`laminar_util::sync::Mutex`]. Verdicts must be unaffected.
+    /// Fault injection for the conformance testkit: poisons the mutex of
+    /// the shard with the given flat ordinal (`0..KERNEL_SHARDS`,
+    /// wrapping), so the next syscall touching that shard takes the
+    /// poison-recovery path of [`laminar_util::sync::Mutex`]. Verdicts
+    /// must be unaffected, and *other* shards keep serving syscalls
+    /// without recovering anything.
     #[cfg(feature = "fault-injection")]
-    pub fn poison_big_lock_for_test(self: &Arc<Self>) {
-        self.state.poison_for_test();
+    pub fn poison_shard_for_test(self: &Arc<Self>, ordinal: usize) {
+        self.tables.poison(ShardKey::from_ordinal(ordinal));
+    }
+
+    /// Poisons the task-table shard holding `tid` (fault injection).
+    #[cfg(feature = "fault-injection")]
+    pub fn poison_task_shard_for_test(self: &Arc<Self>, tid: TaskId) {
+        self.tables.poison(ShardKey::task(tid));
+    }
+
+    /// Poisons the inode-table shard holding `ino` (fault injection).
+    #[cfg(feature = "fault-injection")]
+    pub fn poison_inode_shard_for_test(self: &Arc<Self>, ino: InodeId) {
+        self.tables.poison(ShardKey::inode(ino));
+    }
+
+    /// Resolves `path` to its inode id with no DIFC checks (fault
+    /// injection: lets a test aim [`Kernel::poison_inode_shard_for_test`]
+    /// at the shard actually holding a given file).
+    ///
+    /// # Errors
+    /// [`OsError::NotFound`] if the path names no inode;
+    /// [`OsError::InvalidArgument`] for relative paths.
+    #[cfg(feature = "fault-injection")]
+    pub fn inode_of_for_test(self: &Arc<Self>, path: &str) -> OsResult<InodeId> {
+        let (parent, name) = self.admin_resolve(path)?;
+        self.admin_lookup_child(parent, &name)
     }
 
     /// Logs a user in: spawns a fresh process with one task whose
@@ -497,11 +719,26 @@ impl Kernel {
     ///
     /// Fails with [`OsError::NoSuchTask`] if the user was never added.
     pub fn login(self: &Arc<Self>, user: UserId) -> OsResult<TaskHandle> {
-        let mut st = self.state.lock();
-        let cwd = *st.homes.get(&user).ok_or(OsError::NoSuchTask)?;
-        let caps = st.persistent_caps.get(&user).cloned().unwrap_or_default();
-        let tid = Self::spawn_process_locked(&mut st, user, cwd, caps);
+        let (cwd, caps) = {
+            let reg = self.tables.registry();
+            let cwd = *reg.homes.get(&user).ok_or(OsError::NoSuchTask)?;
+            let caps = reg.persistent_caps.get(&user).cloned().unwrap_or_default();
+            (cwd, caps)
+        };
+        let tid = self.spawn_process_direct(user, cwd, caps);
         Ok(TaskHandle { kernel: Arc::clone(self), tid })
+    }
+
+    /// Spawns a process outside any transaction (login/boot path).
+    fn spawn_process_direct(&self, user: UserId, cwd: InodeId, caps: CapSet) -> TaskId {
+        let pid = ProcessId(self.next_proc.fetch_add(1, Ordering::Relaxed));
+        let tid = TaskId(self.next_task.fetch_add(1, Ordering::Relaxed));
+        self.tables.procs_for(pid).insert(pid, ProcessStruct::fresh(pid, tid, cwd));
+        self.tables.tasks_for(tid).insert(
+            tid,
+            TaskStruct::fresh(tid, pid, user, TaskSec::new(SecPair::unlabeled(), caps)),
+        );
+        tid
     }
 
     /// Grants the calling runtime the privileges of a trusted VM: marks
@@ -516,74 +753,28 @@ impl Kernel {
     ///
     /// Fails with [`OsError::NoSuchTask`] if the handle's task has exited.
     pub fn bless_vm_process(self: &Arc<Self>, task: &TaskHandle) -> OsResult<()> {
-        let mut st = self.state.lock();
         let tcb = self.tcb_tag;
-        let t = st.tasks.get_mut(&task.tid).ok_or(OsError::NoSuchTask)?;
-        t.security.caps_mut().grant_both(tcb);
-        let pid = t.process;
-        st.processes.get_mut(&pid).ok_or(OsError::Internal)?.trusted_vm = true;
+        let pid = {
+            let mut shard = self.tables.tasks_for(task.tid);
+            let t = shard.get_mut(&task.tid).ok_or(OsError::NoSuchTask)?;
+            t.security.caps_mut().grant_both(tcb);
+            t.process
+        };
+        self.tables.procs_for(pid).get_mut(&pid).ok_or(OsError::Internal)?.trusted_vm =
+            true;
         Ok(())
     }
 
     /// Sets the persistent capabilities stored for a user (the on-disk
     /// capability file of §4.4). Takes effect at the next login.
     pub fn set_persistent_caps(self: &Arc<Self>, user: UserId, caps: CapSet) {
-        self.state.lock().persistent_caps.insert(user, caps);
+        self.tables.registry().persistent_caps.insert(user, caps);
     }
 
     /// Reads back a user's persistent capabilities.
     #[must_use]
     pub fn persistent_caps(self: &Arc<Self>, user: UserId) -> CapSet {
-        self.state.lock().persistent_caps.get(&user).cloned().unwrap_or_default()
-    }
-
-    pub(crate) fn spawn_process_locked(
-        st: &mut KState,
-        user: UserId,
-        cwd: InodeId,
-        caps: CapSet,
-    ) -> TaskId {
-        let pid = ProcessId(st.next_proc);
-        st.next_proc += 1;
-        let tid = TaskId(st.next_task);
-        st.next_task += 1;
-        st.processes.insert(
-            pid,
-            ProcessStruct {
-                id: pid,
-                tasks: vec![tid],
-                fds: FdTable::new(),
-                cwd,
-                trusted_vm: false,
-                vm_areas: Vec::new(),
-                next_mmap_page: 0x1000,
-                binary: "init".into(),
-            },
-        );
-        st.tasks.insert(
-            tid,
-            TaskStruct {
-                id: tid,
-                process: pid,
-                user,
-                security: TaskSec::new(SecPair::unlabeled(), caps),
-                pending_signals: Default::default(),
-                alive: true,
-            },
-        );
-        tid
-    }
-
-    pub(crate) fn task_sec(st: &KState, tid: TaskId) -> OsResult<TaskSec> {
-        st.tasks
-            .get(&tid)
-            .filter(|t| t.alive)
-            .map(|t| t.security.clone())
-            .ok_or(OsError::NoSuchTask)
-    }
-
-    pub(crate) fn inode_labels(st: &KState, ino: InodeId) -> OsResult<SecPair> {
-        st.inodes.get(&ino).map(|i| i.labels().clone()).ok_or(OsError::NotFound)
+        self.tables.registry().persistent_caps.get(&user).cloned().unwrap_or_default()
     }
 
     /// Invokes the `inode_permission` hook, counting it.
@@ -595,7 +786,7 @@ impl Kernel {
         mask: Access,
     ) -> OsResult<()> {
         st.count_hook();
-        let labels = Self::inode_labels(st, ino)?;
+        let labels = st.inode_labels(ino)?;
         self.module.inode_permission(task, &labels, mask)
     }
 
@@ -636,16 +827,16 @@ impl Kernel {
         path: &str,
         follow_final: bool,
     ) -> OsResult<Resolved> {
-        let task = Self::task_sec(st, tid)?;
+        let task = st.task_sec(tid)?;
         if path.is_empty() {
             return Err(OsError::InvalidArgument("empty path"));
         }
         let (start, rel): (InodeId, &str) = if let Some(stripped) = path.strip_prefix('/')
         {
-            (st.root, stripped)
+            (self.root, stripped)
         } else {
-            let proc_id = st.tasks.get(&tid).ok_or(OsError::NoSuchTask)?.process;
-            (st.processes.get(&proc_id).ok_or(OsError::Internal)?.cwd, path)
+            let proc_id = st.task(tid)?.process;
+            (st.proc(proc_id)?.cwd, path)
         };
         let comps: Vec<String> = rel
             .split('/')
@@ -694,15 +885,17 @@ impl Kernel {
                 }
                 continue;
             }
-            let node = st.inodes.get(&cur).ok_or(OsError::NotFound)?;
-            let entries = match &node.kind {
-                InodeKind::Dir { entries } => entries,
-                _ => return Err(OsError::NotADirectory),
+            let child = {
+                let node = st.inode_opt(cur)?.ok_or(OsError::NotFound)?;
+                match &node.kind {
+                    InodeKind::Dir { entries } => entries.get(comp.as_str()).copied(),
+                    _ => return Err(OsError::NotADirectory),
+                }
             };
-            match entries.get(comp.as_str()) {
-                Some(&child) => {
+            match child {
+                Some(child) => {
                     // Symlink in the path: follow it (mediated).
-                    let link_target = match &st.inodes.get(&child).map(|n| &n.kind) {
+                    let link_target = match st.inode_opt(child)?.map(|n| &n.kind) {
                         Some(InodeKind::Symlink { target }) => Some(target.clone()),
                         _ => None,
                     };
@@ -719,7 +912,7 @@ impl Kernel {
                         let (nstart, mut ncomps): (InodeId, Vec<String>) =
                             if let Some(strip) = target.strip_prefix('/') {
                                 (
-                                    st.root,
+                                    self.root,
                                     strip
                                         .split('/')
                                         .filter(|c| !c.is_empty() && *c != ".")
@@ -771,17 +964,6 @@ impl Kernel {
         // The loop always returns on the last component; reaching here
         // would be an internal invariant failure, reported fail-closed.
         Err(OsError::Internal)
-    }
-
-    pub(crate) fn alloc_inode(
-        st: &mut KState,
-        kind: InodeKind,
-        labels: SecPair,
-    ) -> InodeId {
-        let id = InodeId(st.next_inode);
-        st.next_inode += 1;
-        st.inodes.insert(id, Inode { id, kind, xattrs: Xattrs { labels }, nlink: 1 });
-        id
     }
 }
 
@@ -864,5 +1046,69 @@ mod tests {
         let before = k.hook_calls();
         let _ = sh.stat("/tmp");
         assert!(k.hook_calls() > before);
+    }
+
+    #[test]
+    fn commit_tickets_are_dense_and_thread_visible() {
+        let k = Kernel::boot(NullModule);
+        k.add_user(UserId(1), "alice");
+        let sh = k.login(UserId(1)).unwrap();
+        k.set_commit_log_enabled(true);
+        let _ = sh.stat("/tmp");
+        let s1 = last_syscall_seq();
+        let _ = sh.stat("/etc");
+        let s2 = last_syscall_seq();
+        assert!(s2 > s1);
+        let log = k.drain_commit_log();
+        assert!(log.iter().any(|r| r.seq == s1 && r.task == sh.id()));
+        assert!(log.iter().any(|r| r.seq == s2 && r.task == sh.id()));
+        k.set_commit_log_enabled(false);
+    }
+
+    #[test]
+    fn run_parallel_executes_disjoint_task_sets() {
+        let k = Kernel::boot(LaminarModule);
+        k.add_user(UserId(1), "alice");
+        k.add_user(UserId(2), "bob");
+        let a = k.login(UserId(1)).unwrap();
+        let b = k.login(UserId(2)).unwrap();
+        let results = k.run_parallel(vec![vec![a], vec![b]], |i, set| {
+            let h = &set[0];
+            let mut ok = 0u32;
+            for n in 0..50 {
+                let name = format!("f{i}_{n}");
+                let fd = h.create(&name).unwrap();
+                h.write(fd, b"x").unwrap();
+                h.close(fd).unwrap();
+                h.unlink(&name).unwrap();
+                ok += 1;
+            }
+            ok
+        });
+        assert_eq!(results, vec![50, 50]);
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn run_parallel_rejects_overlapping_sets() {
+        let k = Kernel::boot(NullModule);
+        k.add_user(UserId(1), "alice");
+        let a = k.login(UserId(1)).unwrap();
+        let b = a.clone();
+        let _ = k.run_parallel(vec![vec![a], vec![b]], |_, _| ());
+    }
+
+    #[test]
+    fn serial_mode_still_serves_syscalls() {
+        let k = Kernel::boot(LaminarModule);
+        k.add_user(UserId(1), "alice");
+        let sh = k.login(UserId(1)).unwrap();
+        k.set_serial_mode(true);
+        let fd = sh.create("f").unwrap();
+        sh.write(fd, b"hello").unwrap();
+        sh.close(fd).unwrap();
+        assert!(sh.stat("f").is_ok());
+        k.set_serial_mode(false);
+        assert!(sh.stat("f").is_ok());
     }
 }

@@ -52,6 +52,7 @@ mod error;
 mod kernel;
 mod laminar_lsm;
 mod lsm;
+mod shard;
 pub mod stats;
 mod syscalls;
 mod task;
@@ -61,9 +62,10 @@ mod vfs;
 pub use error::{OsError, OsResult};
 #[cfg(feature = "fault-injection")]
 pub use kernel::SyscallFailpoint;
-pub use kernel::{Kernel, TaskHandle};
+pub use kernel::{last_syscall_seq, CommitRecord, Kernel, TaskHandle};
 pub use laminar_lsm::LaminarModule;
 pub use lsm::{Access, DeliveryVerdict, NullModule, SecurityModule};
+pub use shard::{ShardKey, INODE_SHARDS, PROC_SHARDS, SHARD_COUNT, TASK_SHARDS};
 pub use stats::{reset_syscalls_rolled_back, syscalls_rolled_back};
 pub use task::{ProcessId, Signal, TaskId, TaskSec, UserId, VmArea};
 pub use txn::Quotas;

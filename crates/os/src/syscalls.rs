@@ -6,16 +6,18 @@
 //! standard file, pipe, process, memory and signal calls the case
 //! studies and the lmbench-style microbenchmarks need.
 //!
-//! Every syscall runs under the kernel lock and consults the loaded
-//! security module at the same points a Linux LSM would. Every *mutating*
-//! syscall body executes inside a [`crate::txn::Txn`] transaction under
-//! the panic boundary of [`Kernel::syscall`]: an internal fault (or an
-//! error return) rolls the journal back, so a failed syscall is a no-op
-//! on labels, capabilities, fd tables and the VFS — the kernel fails
-//! closed and keeps serving every other task.
+//! Every syscall consults the loaded security module at the same points
+//! a Linux LSM would. Every *mutating* syscall body executes inside a
+//! [`crate::txn::Txn`] transaction under the panic boundary of
+//! [`Kernel::syscall_on`](crate::kernel::Kernel::syscall_on): the body
+//! locks only the shards it touches (in
+//! the total lock order of [`crate::shard`]), and an internal fault (or
+//! an error return) rolls the journal back, so a failed syscall is a
+//! no-op on labels, capabilities, fd tables and the VFS — the kernel
+//! fails closed and keeps serving every other task, in parallel.
 
 use crate::error::{OsError, OsResult};
-use crate::kernel::{Kernel, TaskHandle};
+use crate::kernel::TaskHandle;
 use crate::lsm::{Access, DeliveryVerdict};
 use crate::task::{ProcessId, Signal, TaskId, TaskSec, TaskStruct, UserId, VmArea};
 use crate::vfs::file::{Fd, OpenFile, OpenMode, PipeEnd, SocketEnd};
@@ -37,17 +39,12 @@ impl TaskHandle {
     /// Fails if the task has exited; [`OsError::QuotaExceeded`] once the
     /// per-user tag quota is spent.
     pub fn alloc_tag(&self) -> OsResult<Tag> {
-        self.kernel.syscall(|st| {
-            let user = st
-                .tasks
-                .get(&self.tid)
-                .filter(|t| t.alive)
-                .ok_or(OsError::NoSuchTask)?
-                .user;
+        self.kernel.syscall_on(self.tid, |st| {
+            let user = st.task_alive(self.tid)?.user;
             st.mint_tag(user)?;
             // The allocator lives outside the journal: a tag id minted by
             // an aborted transaction is simply never used (ids are opaque).
-            let tag = self.kernel.tags.fresh();
+            let tag = st.fresh_tag();
             st.task_mut(self.tid)?.security.caps_mut().grant_both(tag);
             Ok(tag)
         })
@@ -63,9 +60,9 @@ impl TaskHandle {
     /// [`OsError::LabelChangeDenied`] if a capability is missing;
     /// [`OsError::PermissionDenied`] for the multithreading restriction.
     pub fn set_task_label(&self, ty: LabelType, new: Label) -> OsResult<()> {
-        self.kernel.syscall(|st| {
-            let sec = Kernel::task_sec(st, self.tid)?;
-            let new_pair = sec.labels.with_label(ty, new);
+        self.kernel.syscall_on(self.tid, |st| {
+            let sec = st.task_sec(self.tid)?;
+            let new_pair = sec.labels.with_label(ty, new.clone());
             if new_pair == sec.labels {
                 // O(1) by interned pair id: an identity change always passes
                 // both the capability rule and the LSM hook, so skip both.
@@ -74,21 +71,27 @@ impl TaskHandle {
             check_pair_change(&sec.labels, &new_pair, &sec.caps)?;
             st.count_hook();
             self.kernel.module.task_set_label(&sec, &new_pair)?;
-            let pid = st.tasks.get(&self.tid).ok_or(OsError::NoSuchTask)?.process;
-            let proc = st.processes.get(&pid).ok_or(OsError::Internal)?;
-            if !proc.trusted_vm && proc.tasks.len() > 1 {
+            let pid = st.task(self.tid)?.process;
+            let (trusted_vm, ptasks) = {
+                let proc = st.proc(pid)?;
+                (proc.trusted_vm, proc.tasks.clone())
+            };
+            if !trusted_vm && ptasks.len() > 1 {
                 // Without a trusted VM all threads must keep identical
                 // labels; a per-thread change would desynchronise them.
-                let homogeneous = proc.tasks.iter().all(|t| {
-                    st.tasks
-                        .get(t)
+                for t in &ptasks {
+                    if *t == self.tid {
+                        continue;
+                    }
+                    let homogeneous = st
+                        .task_opt(*t)?
                         .map(|ts| ts.security.labels == new_pair)
-                        .unwrap_or(true)
-                });
-                if !homogeneous {
-                    return Err(OsError::PermissionDenied(
-                        "threads of an untrusted multithreaded process must share labels",
-                    ));
+                        .unwrap_or(true);
+                    if !homogeneous {
+                        return Err(OsError::PermissionDenied(
+                            "threads of an untrusted multithreaded process must share labels",
+                        ));
+                    }
                 }
             }
             st.task_mut(self.tid)?.security.labels = new_pair;
@@ -116,15 +119,15 @@ impl TaskHandle {
     /// [`OsError::PermissionDenied`] without the `tcb` tag or across
     /// address spaces.
     pub fn drop_label_tcb(&self, target: TaskId) -> OsResult<()> {
-        self.kernel.syscall(|st| {
-            let sec = Kernel::task_sec(st, self.tid)?;
+        self.kernel.syscall_on(self.tid, |st| {
+            let sec = st.task_sec(self.tid)?;
             if !sec.labels.integrity().contains(self.kernel.tcb_tag()) {
                 return Err(OsError::PermissionDenied(
                     "drop_label_tcb requires the tcb integrity tag",
                 ));
             }
-            let my_pid = st.tasks.get(&self.tid).ok_or(OsError::NoSuchTask)?.process;
-            let t = st.tasks.get(&target).ok_or(OsError::NoSuchTask)?;
+            let my_pid = st.task(self.tid)?.process;
+            let t = st.task(target)?;
             if t.process != my_pid {
                 return Err(OsError::PermissionDenied(
                     "drop_label_tcb is limited to the caller's address space",
@@ -155,21 +158,21 @@ impl TaskHandle {
     /// [`OsError::PermissionDenied`] without the `tcb` tag or across
     /// address spaces.
     pub fn set_task_labels_tcb(&self, target: TaskId, labels: SecPair) -> OsResult<()> {
-        self.kernel.syscall(|st| {
-            let sec = Kernel::task_sec(st, self.tid)?;
+        self.kernel.syscall_on(self.tid, |st| {
+            let sec = st.task_sec(self.tid)?;
             if !sec.labels.integrity().contains(self.kernel.tcb_tag()) {
                 return Err(OsError::PermissionDenied(
                     "set_task_labels_tcb requires the tcb integrity tag",
                 ));
             }
-            let my_pid = st.tasks.get(&self.tid).ok_or(OsError::NoSuchTask)?.process;
-            let t = st.tasks.get(&target).ok_or(OsError::NoSuchTask)?;
+            let my_pid = st.task(self.tid)?.process;
+            let t = st.task(target)?;
             if t.process != my_pid {
                 return Err(OsError::PermissionDenied(
                     "set_task_labels_tcb is limited to the caller's address space",
                 ));
             }
-            st.task_mut(target)?.security.labels = labels;
+            st.task_mut(target)?.security.labels = labels.clone();
             Ok(())
         })
     }
@@ -182,10 +185,8 @@ impl TaskHandle {
     /// # Errors
     /// Fails if the task has exited.
     pub fn drop_capabilities(&self, caps: &[Capability]) -> OsResult<()> {
-        self.kernel.syscall(|st| {
-            if st.tasks.get(&self.tid).filter(|t| t.alive).is_none() {
-                return Err(OsError::NoSuchTask);
-            }
+        self.kernel.syscall_on(self.tid, |st| {
+            st.task_alive(self.tid)?;
             let t = st.task_mut(self.tid)?;
             for &c in caps {
                 t.security.caps_mut().revoke(c);
@@ -202,22 +203,22 @@ impl TaskHandle {
     /// [`OsError::PermissionDenied`] without the `tcb` tag or across
     /// address spaces.
     pub fn grant_capabilities_tcb(&self, target: TaskId, caps: &CapSet) -> OsResult<()> {
-        self.kernel.syscall(|st| {
-            let sec = Kernel::task_sec(st, self.tid)?;
+        self.kernel.syscall_on(self.tid, |st| {
+            let sec = st.task_sec(self.tid)?;
             if !sec.labels.integrity().contains(self.kernel.tcb_tag()) {
                 return Err(OsError::PermissionDenied(
                     "grant_capabilities_tcb requires the tcb integrity tag",
                 ));
             }
-            let my_pid = st.tasks.get(&self.tid).ok_or(OsError::NoSuchTask)?.process;
-            let t = st.tasks.get(&target).ok_or(OsError::NoSuchTask)?;
+            let my_pid = st.task(self.tid)?.process;
+            let t = st.task(target)?;
             if t.process != my_pid {
                 return Err(OsError::PermissionDenied(
                     "grant_capabilities_tcb is limited to the caller's address space",
                 ));
             }
             let t = st.task_mut(target)?;
-            t.security.caps = std::sync::Arc::new(t.security.caps.union(caps));
+            t.security.caps = Arc::new(t.security.caps.union(caps));
             Ok(())
         })
     }
@@ -228,8 +229,12 @@ impl TaskHandle {
     /// # Errors
     /// Fails if the task has exited.
     pub fn current_labels(&self) -> OsResult<SecPair> {
-        let st = self.kernel.state.lock();
-        Ok(Kernel::task_sec(&st, self.tid)?.labels)
+        let shard = self.kernel.tables.tasks_for(self.tid);
+        shard
+            .get(&self.tid)
+            .filter(|t| t.alive)
+            .map(|t| t.security.labels.clone())
+            .ok_or(OsError::NoSuchTask)
     }
 
     /// Current capability set of the calling task. (Read-only: bypasses
@@ -238,8 +243,12 @@ impl TaskHandle {
     /// # Errors
     /// Fails if the task has exited.
     pub fn current_caps(&self) -> OsResult<CapSet> {
-        let st = self.kernel.state.lock();
-        Ok((*Kernel::task_sec(&st, self.tid)?.caps).clone())
+        let shard = self.kernel.tables.tasks_for(self.tid);
+        shard
+            .get(&self.tid)
+            .filter(|t| t.alive)
+            .map(|t| (*t.security.caps).clone())
+            .ok_or(OsError::NoSuchTask)
     }
 
     /// `write_capability`: sends a capability through a pipe fd. The
@@ -251,26 +260,19 @@ impl TaskHandle {
     /// [`OsError::BadFd`] if `fd` is not a writable pipe end;
     /// [`OsError::PermissionDenied`] if the sender lacks the capability.
     pub fn write_capability(&self, cap: Capability, fd: Fd) -> OsResult<()> {
-        self.kernel.syscall(|st| {
-            let sec = Kernel::task_sec(st, self.tid)?;
+        self.kernel.syscall_on(self.tid, |st| {
+            let sec = st.task_sec(self.tid)?;
             if !sec.caps.has(cap) {
                 return Err(OsError::PermissionDenied(
                     "cannot send a capability the sender does not hold",
                 ));
             }
-            let pid = st.tasks.get(&self.tid).ok_or(OsError::NoSuchTask)?.process;
-            let file = st
-                .processes
-                .get(&pid)
-                .ok_or(OsError::Internal)?
-                .fds
-                .get(fd)
-                .cloned()
-                .ok_or(OsError::BadFd)?;
+            let pid = st.task(self.tid)?.process;
+            let file = st.proc(pid)?.fds.get(fd).cloned().ok_or(OsError::BadFd)?;
             if file.pipe_end != Some(PipeEnd::Write) {
                 return Err(OsError::BadFd);
             }
-            let pipe_labels = Kernel::inode_labels(st, file.inode)?;
+            let pipe_labels = st.inode_labels(file.inode)?;
             st.count_hook();
             match self.kernel.module.cap_transfer(&sec, &pipe_labels) {
                 DeliveryVerdict::Deliver => {
@@ -293,21 +295,14 @@ impl TaskHandle {
     /// [`OsError::BadFd`] if `fd` is not a readable pipe end; a flow
     /// error if the pipe's labels may not flow to the receiver.
     pub fn read_capability(&self, fd: Fd) -> OsResult<Option<Capability>> {
-        self.kernel.syscall(|st| {
-            let sec = Kernel::task_sec(st, self.tid)?;
-            let pid = st.tasks.get(&self.tid).ok_or(OsError::NoSuchTask)?.process;
-            let file = st
-                .processes
-                .get(&pid)
-                .ok_or(OsError::Internal)?
-                .fds
-                .get(fd)
-                .cloned()
-                .ok_or(OsError::BadFd)?;
+        self.kernel.syscall_on(self.tid, |st| {
+            let sec = st.task_sec(self.tid)?;
+            let pid = st.task(self.tid)?.process;
+            let file = st.proc(pid)?.fds.get(fd).cloned().ok_or(OsError::BadFd)?;
             if file.pipe_end != Some(PipeEnd::Read) {
                 return Err(OsError::BadFd);
             }
-            let pipe_labels = Kernel::inode_labels(st, file.inode)?;
+            let pipe_labels = st.inode_labels(file.inode)?;
             st.count_hook();
             self.kernel.module.cap_receive(&sec, &pipe_labels)?;
             let cap = match &mut st.inode_mut(file.inode)?.kind {
@@ -327,12 +322,11 @@ impl TaskHandle {
     /// # Errors
     /// Fails if the task has exited.
     pub fn save_persistent_caps(&self) -> OsResult<()> {
-        self.kernel.syscall(|st| {
-            let t =
-                st.tasks.get(&self.tid).filter(|t| t.alive).ok_or(OsError::NoSuchTask)?;
+        self.kernel.syscall_on(self.tid, |st| {
+            let t = st.task_alive(self.tid)?;
             let user = t.user;
             let caps = (*t.security.caps).clone();
-            st.set_persistent_caps(user, caps);
+            st.set_persistent_caps(user, caps)?;
             Ok(())
         })
     }
@@ -379,15 +373,15 @@ impl TaskHandle {
     }
 
     fn create_inode(&self, path: &str, labels: SecPair, dir: bool) -> OsResult<Fd> {
-        self.kernel.syscall(|st| {
-            let sec = Kernel::task_sec(st, self.tid)?;
+        self.kernel.syscall_on(self.tid, |st| {
+            let sec = st.task_sec(self.tid)?;
             let r = self.kernel.resolve(st, self.tid, path)?;
             if r.inode.is_some() {
                 return Err(OsError::Exists);
             }
             let parent =
                 r.parent.ok_or(OsError::InvalidArgument("path names a directory"))?;
-            let parent_labels = Kernel::inode_labels(st, parent)?;
+            let parent_labels = st.inode_labels(parent)?;
             st.count_hook();
             self.kernel.module.inode_create(&sec, &parent_labels, &labels)?;
             let kind = if dir {
@@ -395,14 +389,14 @@ impl TaskHandle {
             } else {
                 InodeKind::File { data: Vec::new() }
             };
-            let id = st.alloc_inode(kind, labels)?;
+            let id = st.alloc_inode(kind, labels.clone())?;
             if let InodeKind::Dir { entries } = &mut st.inode_mut(parent)?.kind {
                 entries.insert(r.name, id);
             }
             if dir {
                 return Ok(Fd(u32::MAX)); // sentinel, discarded by mkdir_labeled
             }
-            let pid = st.tasks.get(&self.tid).ok_or(OsError::NoSuchTask)?.process;
+            let pid = st.task(self.tid)?.process;
             st.fd_insert(
                 pid,
                 OpenFile {
@@ -425,11 +419,11 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::NotFound`]; [`OsError::IsADirectory`]; hook vetoes.
     pub fn open(&self, path: &str, mode: OpenMode) -> OsResult<Fd> {
-        self.kernel.syscall(|st| {
-            let sec = Kernel::task_sec(st, self.tid)?;
+        self.kernel.syscall_on(self.tid, |st| {
+            let sec = st.task_sec(self.tid)?;
             let r = self.kernel.resolve(st, self.tid, path)?;
             let ino = r.inode.ok_or(OsError::NotFound)?;
-            if st.inodes.get(&ino).map(|i| i.kind.is_dir()).unwrap_or(false) {
+            if st.inode_opt(ino)?.map(|i| i.kind.is_dir()).unwrap_or(false) {
                 return Err(OsError::IsADirectory);
             }
             let mask = match mode {
@@ -438,7 +432,7 @@ impl TaskHandle {
                 OpenMode::ReadWrite => Access::ReadWrite,
             };
             self.kernel.hook_inode_permission(st, &sec, ino, mask)?;
-            let pid = st.tasks.get(&self.tid).ok_or(OsError::NoSuchTask)?.process;
+            let pid = st.task(self.tid)?.process;
             st.fd_insert(
                 pid,
                 OpenFile {
@@ -457,16 +451,11 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::BadFd`] if not open.
     pub fn close(&self, fd: Fd) -> OsResult<()> {
-        self.kernel.syscall(|st| {
-            let pid = st
-                .tasks
-                .get(&self.tid)
-                .filter(|t| t.alive)
-                .ok_or(OsError::NoSuchTask)?
-                .process;
+        self.kernel.syscall_on(self.tid, |st| {
+            let pid = st.task_alive(self.tid)?.process;
             let file = st.proc_mut(pid)?.fds.remove(fd).ok_or(OsError::BadFd)?;
             if let Some(end) = file.pipe_end {
-                if let Ok(inode) = st.inode_mut(file.inode) {
+                if let Some(inode) = st.inode_mut_opt(file.inode)? {
                     if let InodeKind::Pipe { buffer } = &mut inode.kind {
                         match end {
                             PipeEnd::Read => buffer.drop_reader(),
@@ -488,21 +477,14 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::BadFd`]; flow vetoes from `file_permission`.
     pub fn read(&self, fd: Fd, max: usize) -> OsResult<Vec<u8>> {
-        self.kernel.syscall(|st| {
-            let sec = Kernel::task_sec(st, self.tid)?;
-            let pid = st.tasks.get(&self.tid).ok_or(OsError::NoSuchTask)?.process;
-            let file = st
-                .processes
-                .get(&pid)
-                .ok_or(OsError::Internal)?
-                .fds
-                .get(fd)
-                .cloned()
-                .ok_or(OsError::BadFd)?;
+        self.kernel.syscall_on(self.tid, |st| {
+            let sec = st.task_sec(self.tid)?;
+            let pid = st.task(self.tid)?.process;
+            let file = st.proc(pid)?.fds.get(fd).cloned().ok_or(OsError::BadFd)?;
             if !file.mode.readable() {
                 return Err(OsError::BadFd);
             }
-            let labels = Kernel::inode_labels(st, file.inode)?;
+            let labels = st.inode_labels(file.inode)?;
             st.count_hook();
             match file.pipe_end {
                 Some(PipeEnd::Read) => {
@@ -529,7 +511,7 @@ impl TaskHandle {
                 }
                 None => {
                     self.kernel.module.file_permission(&sec, &labels, Access::Read)?;
-                    let inode = st.inodes.get(&file.inode).ok_or(OsError::BadFd)?;
+                    let inode = st.inode_opt(file.inode)?.ok_or(OsError::BadFd)?;
                     let data = match &inode.kind {
                         InodeKind::File { data } => {
                             let start = (file.offset as usize).min(data.len());
@@ -567,21 +549,14 @@ impl TaskHandle {
     /// [`OsError::BadFd`]; flow vetoes from `file_permission` (regular
     /// files only — pipe label failures drop silently).
     pub fn write(&self, fd: Fd, data: &[u8]) -> OsResult<usize> {
-        self.kernel.syscall(|st| {
-            let sec = Kernel::task_sec(st, self.tid)?;
-            let pid = st.tasks.get(&self.tid).ok_or(OsError::NoSuchTask)?.process;
-            let file = st
-                .processes
-                .get(&pid)
-                .ok_or(OsError::Internal)?
-                .fds
-                .get(fd)
-                .cloned()
-                .ok_or(OsError::BadFd)?;
+        self.kernel.syscall_on(self.tid, |st| {
+            let sec = st.task_sec(self.tid)?;
+            let pid = st.task(self.tid)?.process;
+            let file = st.proc(pid)?.fds.get(fd).cloned().ok_or(OsError::BadFd)?;
             if !file.mode.writable() {
                 return Err(OsError::BadFd);
             }
-            let labels = Kernel::inode_labels(st, file.inode)?;
+            let labels = st.inode_labels(file.inode)?;
             st.count_hook();
             match file.pipe_end {
                 Some(PipeEnd::Write) => {
@@ -617,7 +592,7 @@ impl TaskHandle {
                 }
                 None => {
                     self.kernel.module.file_permission(&sec, &labels, Access::Write)?;
-                    match st.inodes.get(&file.inode).map(|i| &i.kind) {
+                    match st.inode_opt(file.inode)?.map(|i| &i.kind) {
                         Some(InodeKind::File { .. }) => {
                             st.write_file_data(file.inode, file.offset as usize, data)?;
                         }
@@ -638,6 +613,57 @@ impl TaskHandle {
         })
     }
 
+    /// Reads a whole file by path in one syscall: resolve, check, copy
+    /// from offset zero, up to `max` bytes. One transaction, one commit
+    /// ticket — the unit the SMP throughput bench and the concurrent
+    /// conformance regime drive, because the single commit point makes
+    /// the outcome attributable to one position in the commit order.
+    ///
+    /// # Errors
+    /// [`OsError::NotFound`]; [`OsError::IsADirectory`]; flow vetoes.
+    pub fn read_file_at(&self, path: &str, max: usize) -> OsResult<Vec<u8>> {
+        self.kernel.syscall_on(self.tid, |st| {
+            let sec = st.task_sec(self.tid)?;
+            let r = self.kernel.resolve(st, self.tid, path)?;
+            let ino = r.inode.ok_or(OsError::NotFound)?;
+            self.kernel.hook_inode_permission(st, &sec, ino, Access::Read)?;
+            let inode = st.inode_opt(ino)?.ok_or(OsError::Internal)?;
+            match &inode.kind {
+                InodeKind::File { data } => {
+                    let end = max.min(data.len());
+                    Ok(data[..end].to_vec())
+                }
+                InodeKind::NullDevice => Ok(Vec::new()),
+                InodeKind::Dir { .. } => Err(OsError::IsADirectory),
+                _ => Err(OsError::Unsupported("read_file_at on a special inode")),
+            }
+        })
+    }
+
+    /// Writes a whole file by path in one syscall: resolve, check,
+    /// overwrite from offset zero. Counterpart of [`Self::read_file_at`].
+    ///
+    /// # Errors
+    /// [`OsError::NotFound`]; [`OsError::IsADirectory`]; flow vetoes.
+    pub fn write_file_at(&self, path: &str, data: &[u8]) -> OsResult<usize> {
+        self.kernel.syscall_on(self.tid, |st| {
+            let sec = st.task_sec(self.tid)?;
+            let r = self.kernel.resolve(st, self.tid, path)?;
+            let ino = r.inode.ok_or(OsError::NotFound)?;
+            self.kernel.hook_inode_permission(st, &sec, ino, Access::Write)?;
+            match st.inode_opt(ino)?.map(|i| &i.kind) {
+                Some(InodeKind::File { .. }) => {
+                    st.write_file_data(ino, 0, data)?;
+                    Ok(data.len())
+                }
+                Some(InodeKind::NullDevice) => Ok(data.len()),
+                Some(InodeKind::Dir { .. }) => Err(OsError::IsADirectory),
+                Some(_) => Err(OsError::Unsupported("write_file_at on a special inode")),
+                None => Err(OsError::Internal),
+            }
+        })
+    }
+
     /// `stat`: metadata of the inode at `path`. Requires read permission
     /// on the inode (its size and link count are protected by its own
     /// label); the name and labels were already mediated by the
@@ -646,12 +672,12 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::NotFound`]; hook vetoes.
     pub fn stat(&self, path: &str) -> OsResult<Metadata> {
-        self.kernel.syscall(|st| {
-            let sec = Kernel::task_sec(st, self.tid)?;
+        self.kernel.syscall_on(self.tid, |st| {
+            let sec = st.task_sec(self.tid)?;
             let r = self.kernel.resolve(st, self.tid, path)?;
             let ino = r.inode.ok_or(OsError::NotFound)?;
             self.kernel.hook_inode_permission(st, &sec, ino, Access::Read)?;
-            let inode = st.inodes.get(&ino).ok_or(OsError::Internal)?;
+            let inode = st.inode_opt(ino)?.ok_or(OsError::Internal)?;
             Ok(Metadata {
                 inode: ino,
                 is_dir: inode.kind.is_dir(),
@@ -671,12 +697,12 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::NotFound`]; hook vetoes.
     pub fn lstat(&self, path: &str) -> OsResult<Metadata> {
-        self.kernel.syscall(|st| {
-            let sec = Kernel::task_sec(st, self.tid)?;
+        self.kernel.syscall_on(self.tid, |st| {
+            let sec = st.task_sec(self.tid)?;
             let r = self.kernel.resolve_nofollow(st, self.tid, path)?;
             let ino = r.inode.ok_or(OsError::NotFound)?;
             self.kernel.hook_inode_permission(st, &sec, ino, Access::Read)?;
-            let inode = st.inodes.get(&ino).ok_or(OsError::Internal)?;
+            let inode = st.inode_opt(ino)?.ok_or(OsError::Internal)?;
             Ok(Metadata {
                 inode: ino,
                 is_dir: inode.kind.is_dir(),
@@ -699,10 +725,10 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::NotFound`]; traversal vetoes.
     pub fn get_labels(&self, path: &str) -> OsResult<SecPair> {
-        self.kernel.syscall(|st| {
+        self.kernel.syscall_on(self.tid, |st| {
             let r = self.kernel.resolve(st, self.tid, path)?;
             let ino = r.inode.ok_or(OsError::NotFound)?;
-            Kernel::inode_labels(st, ino)
+            st.inode_labels(ino)
         })
     }
 
@@ -713,26 +739,26 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::NotFound`]; [`OsError::NotEmpty`]; hook vetoes.
     pub fn unlink(&self, path: &str) -> OsResult<()> {
-        self.kernel.syscall(|st| {
-            let sec = Kernel::task_sec(st, self.tid)?;
+        self.kernel.syscall_on(self.tid, |st| {
+            let sec = st.task_sec(self.tid)?;
             let r = self.kernel.resolve(st, self.tid, path)?;
             let ino = r.inode.ok_or(OsError::NotFound)?;
             let parent =
                 r.parent.ok_or(OsError::InvalidArgument("cannot unlink a root"))?;
-            if let Some(InodeKind::Dir { entries }) = st.inodes.get(&ino).map(|i| &i.kind)
+            if let Some(InodeKind::Dir { entries }) = st.inode_opt(ino)?.map(|i| &i.kind)
             {
                 if !entries.is_empty() {
                     return Err(OsError::NotEmpty);
                 }
             }
-            let parent_labels = Kernel::inode_labels(st, parent)?;
-            let victim_labels = Kernel::inode_labels(st, ino)?;
+            let parent_labels = st.inode_labels(parent)?;
+            let victim_labels = st.inode_labels(ino)?;
             st.count_hook();
             self.kernel.module.inode_unlink(&sec, &parent_labels, &victim_labels)?;
             if let InodeKind::Dir { entries } = &mut st.inode_mut(parent)?.kind {
                 entries.remove(&r.name);
             }
-            st.remove_inode(ino);
+            st.remove_inode(ino)?;
             Ok(())
         })
     }
@@ -742,12 +768,12 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::NotADirectory`]; hook vetoes.
     pub fn readdir(&self, path: &str) -> OsResult<Vec<String>> {
-        self.kernel.syscall(|st| {
-            let sec = Kernel::task_sec(st, self.tid)?;
+        self.kernel.syscall_on(self.tid, |st| {
+            let sec = st.task_sec(self.tid)?;
             let r = self.kernel.resolve(st, self.tid, path)?;
             let ino = r.inode.ok_or(OsError::NotFound)?;
             self.kernel.hook_inode_permission(st, &sec, ino, Access::Read)?;
-            match st.inodes.get(&ino).map(|i| &i.kind) {
+            match st.inode_opt(ino)?.map(|i| &i.kind) {
                 Some(InodeKind::Dir { entries }) => Ok(entries.keys().cloned().collect()),
                 Some(_) => Err(OsError::NotADirectory),
                 None => Err(OsError::Internal),
@@ -760,13 +786,13 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::NotADirectory`]; traversal vetoes.
     pub fn chdir(&self, path: &str) -> OsResult<()> {
-        self.kernel.syscall(|st| {
+        self.kernel.syscall_on(self.tid, |st| {
             let r = self.kernel.resolve(st, self.tid, path)?;
             let ino = r.inode.ok_or(OsError::NotFound)?;
-            if !st.inodes.get(&ino).map(|i| i.kind.is_dir()).unwrap_or(false) {
+            if !st.inode_opt(ino)?.map(|i| i.kind.is_dir()).unwrap_or(false) {
                 return Err(OsError::NotADirectory);
             }
-            let pid = st.tasks.get(&self.tid).ok_or(OsError::NoSuchTask)?.process;
+            let pid = st.task(self.tid)?.process;
             st.proc_mut(pid)?.cwd = ino;
             Ok(())
         })
@@ -782,14 +808,14 @@ impl TaskHandle {
     /// inode/fd exhaustion (the whole call rolls back — no half-made
     /// pipe is left behind).
     pub fn pipe(&self) -> OsResult<(Fd, Fd)> {
-        self.kernel.syscall(|st| {
-            let sec = Kernel::task_sec(st, self.tid)?;
+        self.kernel.syscall_on(self.tid, |st| {
+            let sec = st.task_sec(self.tid)?;
             let capacity = self.kernel.quotas.pipe_capacity;
             let ino = st.alloc_inode(
                 InodeKind::Pipe { buffer: PipeBuffer::new(capacity) },
                 sec.labels.clone(),
             )?;
-            let pid = st.tasks.get(&self.tid).ok_or(OsError::NoSuchTask)?.process;
+            let pid = st.task(self.tid)?.process;
             let r = st.fd_insert(
                 pid,
                 OpenFile {
@@ -822,8 +848,8 @@ impl TaskHandle {
     /// Fails if the task has exited; [`OsError::QuotaExceeded`] on
     /// inode/fd exhaustion (atomic, like [`Self::pipe`]).
     pub fn socketpair(&self) -> OsResult<(Fd, Fd)> {
-        self.kernel.syscall(|st| {
-            let sec = Kernel::task_sec(st, self.tid)?;
+        self.kernel.syscall_on(self.tid, |st| {
+            let sec = st.task_sec(self.tid)?;
             let capacity = self.kernel.quotas.pipe_capacity;
             let ino = st.alloc_inode(
                 InodeKind::Socket {
@@ -832,7 +858,7 @@ impl TaskHandle {
                 },
                 sec.labels.clone(),
             )?;
-            let pid = st.tasks.get(&self.tid).ok_or(OsError::NoSuchTask)?.process;
+            let pid = st.task(self.tid)?.process;
             let a = st.fd_insert(
                 pid,
                 OpenFile {
@@ -867,8 +893,8 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::Exists`]; creation-rule vetoes.
     pub fn symlink(&self, target: &str, linkpath: &str) -> OsResult<()> {
-        self.kernel.syscall(|st| {
-            let sec = Kernel::task_sec(st, self.tid)?;
+        self.kernel.syscall_on(self.tid, |st| {
+            let sec = st.task_sec(self.tid)?;
             let r = self.kernel.resolve(st, self.tid, linkpath)?;
             if r.inode.is_some() {
                 return Err(OsError::Exists);
@@ -876,7 +902,7 @@ impl TaskHandle {
             let parent = r
                 .parent
                 .ok_or(OsError::InvalidArgument("link path names a directory"))?;
-            let parent_labels = Kernel::inode_labels(st, parent)?;
+            let parent_labels = st.inode_labels(parent)?;
             st.count_hook();
             self.kernel.module.inode_create(&sec, &parent_labels, &sec.labels)?;
             let id = st.alloc_inode(
@@ -895,12 +921,12 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::InvalidArgument`] if the path is not a symlink.
     pub fn readlink(&self, path: &str) -> OsResult<String> {
-        self.kernel.syscall(|st| {
-            let sec = Kernel::task_sec(st, self.tid)?;
+        self.kernel.syscall_on(self.tid, |st| {
+            let sec = st.task_sec(self.tid)?;
             let r = self.kernel.resolve_nofollow(st, self.tid, path)?;
             let ino = r.inode.ok_or(OsError::NotFound)?;
             self.kernel.hook_inode_permission(st, &sec, ino, Access::Read)?;
-            match st.inodes.get(&ino).map(|i| &i.kind) {
+            match st.inode_opt(ino)?.map(|i| &i.kind) {
                 Some(InodeKind::Symlink { target }) => Ok(target.clone()),
                 Some(_) => Err(OsError::InvalidArgument("not a symlink")),
                 None => Err(OsError::Internal),
@@ -913,21 +939,13 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::BadFd`] for pipes/sockets/devices.
     pub fn seek(&self, fd: Fd, offset: u64) -> OsResult<()> {
-        self.kernel.syscall(|st| {
-            let pid = st
-                .tasks
-                .get(&self.tid)
-                .filter(|t| t.alive)
-                .ok_or(OsError::NoSuchTask)?
-                .process;
-            let file = st
-                .processes
-                .get(&pid)
-                .ok_or(OsError::Internal)?
-                .fds
-                .get(fd)
-                .ok_or(OsError::BadFd)?;
-            if file.pipe_end.is_some() || file.socket_end.is_some() {
+        self.kernel.syscall_on(self.tid, |st| {
+            let pid = st.task_alive(self.tid)?.process;
+            let (pipe_end, socket_end) = {
+                let file = st.proc(pid)?.fds.get(fd).ok_or(OsError::BadFd)?;
+                (file.pipe_end, file.socket_end)
+            };
+            if pipe_end.is_some() || socket_end.is_some() {
                 return Err(OsError::BadFd);
             }
             st.fd_set_offset(pid, fd, offset)
@@ -941,16 +959,10 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::BadFd`] if `fd` is not a pipe.
     pub fn pipe_queued_for_test(&self, fd: Fd) -> OsResult<usize> {
-        let st = self.kernel.state.lock();
-        let pid = st.tasks.get(&self.tid).ok_or(OsError::NoSuchTask)?.process;
-        let file = st
-            .processes
-            .get(&pid)
-            .ok_or(OsError::Internal)?
-            .fds
-            .get(fd)
-            .ok_or(OsError::BadFd)?;
-        match &st.inodes.get(&file.inode).ok_or(OsError::BadFd)?.kind {
+        let (pid, ino) = self.fd_inode_readonly(fd)?;
+        let _ = pid;
+        let shard = self.kernel.tables.inodes_for(ino);
+        match &shard.get(&ino).ok_or(OsError::BadFd)?.kind {
             InodeKind::Pipe { buffer } => Ok(buffer.queued()),
             _ => Err(OsError::BadFd),
         }
@@ -965,19 +977,33 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::BadFd`] if `fd` is not a pipe.
     pub fn pipe_msgs_for_test(&self, fd: Fd) -> OsResult<usize> {
-        let st = self.kernel.state.lock();
-        let pid = st.tasks.get(&self.tid).ok_or(OsError::NoSuchTask)?.process;
-        let file = st
-            .processes
-            .get(&pid)
-            .ok_or(OsError::Internal)?
-            .fds
-            .get(fd)
-            .ok_or(OsError::BadFd)?;
-        match &st.inodes.get(&file.inode).ok_or(OsError::BadFd)?.kind {
+        let (pid, ino) = self.fd_inode_readonly(fd)?;
+        let _ = pid;
+        let shard = self.kernel.tables.inodes_for(ino);
+        match &shard.get(&ino).ok_or(OsError::BadFd)?.kind {
             InodeKind::Pipe { buffer } => Ok(buffer.msg_count()),
             _ => Err(OsError::BadFd),
         }
+    }
+
+    /// Sequential single-shard lookup of the inode behind one of the
+    /// caller's fds (read-only paths; locks one shard at a time).
+    fn fd_inode_readonly(&self, fd: Fd) -> OsResult<(ProcessId, InodeId)> {
+        let pid = {
+            let shard = self.kernel.tables.tasks_for(self.tid);
+            shard.get(&self.tid).ok_or(OsError::NoSuchTask)?.process
+        };
+        let ino = {
+            let shard = self.kernel.tables.procs_for(pid);
+            shard
+                .get(&pid)
+                .ok_or(OsError::Internal)?
+                .fds
+                .get(fd)
+                .ok_or(OsError::BadFd)?
+                .inode
+        };
+        Ok((pid, ino))
     }
 
     // ----- processes, threads, signals -------------------------------------
@@ -992,22 +1018,22 @@ impl TaskHandle {
     /// [`OsError::PermissionDenied`] if `caps` is not a subset of the
     /// caller's capabilities.
     pub fn fork(&self, caps: Option<CapSet>) -> OsResult<TaskHandle> {
-        let tid = self.kernel.syscall(|st| {
-            let sec = Kernel::task_sec(st, self.tid)?;
-            let caps = match caps {
+        let tid = self.kernel.syscall_on(self.tid, |st| {
+            let sec = st.task_sec(self.tid)?;
+            let child_caps = match &caps {
                 Some(c) => {
                     if !c.is_subset_of(&sec.caps) {
                         return Err(OsError::PermissionDenied(
                             "child capabilities must be a subset of the parent's",
                         ));
                     }
-                    c
+                    c.clone()
                 }
                 None => (*sec.caps).clone(),
             };
-            let me = st.tasks.get(&self.tid).ok_or(OsError::NoSuchTask)?;
+            let me = st.task(self.tid)?;
             let (user, my_pid) = (me.user, me.process);
-            let parent = st.processes.get(&my_pid).ok_or(OsError::Internal)?;
+            let parent = st.proc(my_pid)?;
             let (cwd, fds, binary) =
                 (parent.cwd, parent.fds.clone_for_fork(), parent.binary.clone());
             // Duplicated pipe ends gain reader/writer references.
@@ -1016,7 +1042,7 @@ impl TaskHandle {
                 .filter_map(|(_, f)| f.pipe_end.map(|e| (f.inode, e)))
                 .collect();
             for (ino, end) in pipe_refs {
-                if let Ok(inode) = st.inode_mut(ino) {
+                if let Some(inode) = st.inode_mut_opt(ino)? {
                     if let InodeKind::Pipe { buffer } = &mut inode.kind {
                         match end {
                             PipeEnd::Read => buffer.add_reader(),
@@ -1025,8 +1051,7 @@ impl TaskHandle {
                     }
                 }
             }
-            let tid = st.spawn_process(user, cwd, caps);
-            let new_pid = st.tasks.get(&tid).ok_or(OsError::Internal)?.process;
+            let (tid, new_pid) = st.spawn_process(user, cwd, child_caps)?;
             {
                 let p = st.proc_mut(new_pid)?;
                 p.fds = fds;
@@ -1046,28 +1071,28 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::PermissionDenied`] on a capability superset.
     pub fn spawn_thread(&self, caps: Option<CapSet>) -> OsResult<TaskHandle> {
-        let tid = self.kernel.syscall(|st| {
-            let sec = Kernel::task_sec(st, self.tid)?;
-            let caps = match caps {
+        let tid = self.kernel.syscall_on(self.tid, |st| {
+            let sec = st.task_sec(self.tid)?;
+            let thread_caps = match &caps {
                 Some(c) => {
                     if !c.is_subset_of(&sec.caps) {
                         return Err(OsError::PermissionDenied(
                             "thread capabilities must be a subset of the spawner's",
                         ));
                     }
-                    c
+                    c.clone()
                 }
                 None => (*sec.caps).clone(),
             };
-            let me = st.tasks.get(&self.tid).ok_or(OsError::NoSuchTask)?;
+            let me = st.task(self.tid)?;
             let (user, pid) = (me.user, me.process);
             let tid = st.fresh_task_id();
             st.insert_task(TaskStruct::fresh(
                 tid,
                 pid,
                 user,
-                TaskSec::new(sec.labels.clone(), caps),
-            ));
+                TaskSec::new(sec.labels.clone(), thread_caps),
+            ))?;
             st.proc_mut(pid)?.tasks.push(tid);
             Ok(tid)
         })?;
@@ -1082,12 +1107,12 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::NotFound`]; flow vetoes.
     pub fn exec(&self, path: &str) -> OsResult<()> {
-        self.kernel.syscall(|st| {
-            let sec = Kernel::task_sec(st, self.tid)?;
+        self.kernel.syscall_on(self.tid, |st| {
+            let sec = st.task_sec(self.tid)?;
             let r = self.kernel.resolve(st, self.tid, path)?;
             let ino = r.inode.ok_or(OsError::NotFound)?;
             self.kernel.hook_inode_permission(st, &sec, ino, Access::Read)?;
-            let pid = st.tasks.get(&self.tid).ok_or(OsError::NoSuchTask)?.process;
+            let pid = st.task(self.tid)?.process;
             let p = st.proc_mut(pid)?;
             p.vm_areas.clear();
             p.next_mmap_page = 0x1000;
@@ -1102,17 +1127,12 @@ impl TaskHandle {
     /// # Errors
     /// Fails if already exited.
     pub fn exit(&self) -> OsResult<()> {
-        self.kernel.syscall(|st| {
-            let pid = st
-                .tasks
-                .get(&self.tid)
-                .filter(|t| t.alive)
-                .ok_or(OsError::NoSuchTask)?
-                .process;
+        self.kernel.syscall_on(self.tid, |st| {
+            let pid = st.task_alive(self.tid)?.process;
             // Reap: drop the task entry, and the whole process (with its fd
             // table) once its last task exits, so fork-heavy workloads do
             // not grow the kernel tables without bound.
-            st.remove_task(self.tid);
+            st.remove_task(self.tid)?;
             let last_task_fds = {
                 let p = st.proc_mut(pid)?;
                 p.tasks.retain(|&x| x != self.tid);
@@ -1128,9 +1148,9 @@ impl TaskHandle {
                 }
             };
             if let Some(fds) = last_task_fds {
-                st.remove_process(pid);
+                st.remove_process(pid)?;
                 for (ino, end) in fds {
-                    if let Ok(inode) = st.inode_mut(ino) {
+                    if let Some(inode) = st.inode_mut_opt(ino)? {
                         if let InodeKind::Pipe { buffer } = &mut inode.kind {
                             match end {
                                 PipeEnd::Read => buffer.drop_reader(),
@@ -1150,10 +1170,12 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::NoSuchTask`] only when the target id was never valid.
     pub fn kill(&self, target: TaskId, sig: Signal) -> OsResult<()> {
-        self.kernel.syscall(|st| {
-            let sender = Kernel::task_sec(st, self.tid)?;
-            let target_sec =
-                Kernel::task_sec(st, target).map_err(|_| OsError::NoSuchTask)?;
+        self.kernel.syscall_on(self.tid, |st| {
+            let sender = st.task_sec(self.tid)?;
+            let target_sec = st.task_sec(target).map_err(|e| match e {
+                OsError::Retry(k) => OsError::Retry(k),
+                _ => OsError::NoSuchTask,
+            })?;
             st.count_hook();
             if self.kernel.module.task_kill(&sender, &target_sec)
                 == DeliveryVerdict::Deliver
@@ -1169,10 +1191,8 @@ impl TaskHandle {
     /// # Errors
     /// Fails if the task has exited.
     pub fn next_signal(&self) -> OsResult<Option<Signal>> {
-        self.kernel.syscall(|st| {
-            if st.tasks.get(&self.tid).filter(|t| t.alive).is_none() {
-                return Err(OsError::NoSuchTask);
-            }
+        self.kernel.syscall_on(self.tid, |st| {
+            st.task_alive(self.tid)?;
             Ok(st.task_mut(self.tid)?.pending_signals.pop_front())
         })
     }
@@ -1183,8 +1203,8 @@ impl TaskHandle {
     /// # Errors
     /// Fails if the task has exited.
     pub fn user(&self) -> OsResult<UserId> {
-        let st = self.kernel.state.lock();
-        st.tasks
+        let shard = self.kernel.tables.tasks_for(self.tid);
+        shard
             .get(&self.tid)
             .filter(|t| t.alive)
             .map(|t| t.user)
@@ -1197,8 +1217,8 @@ impl TaskHandle {
     /// # Errors
     /// Fails if the task has exited.
     pub fn process(&self) -> OsResult<ProcessId> {
-        let st = self.kernel.state.lock();
-        st.tasks
+        let shard = self.kernel.tables.tasks_for(self.tid);
+        shard
             .get(&self.tid)
             .filter(|t| t.alive)
             .map(|t| t.process)
@@ -1214,20 +1234,14 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::BadFd`] for a bad backing fd; hook vetoes.
     pub fn mmap(&self, pages: u64, backing: Option<Fd>) -> OsResult<u64> {
-        self.kernel.syscall(|st| {
-            let sec = Kernel::task_sec(st, self.tid)?;
-            let pid = st.tasks.get(&self.tid).ok_or(OsError::NoSuchTask)?.process;
+        self.kernel.syscall_on(self.tid, |st| {
+            let sec = st.task_sec(self.tid)?;
+            let pid = st.task(self.tid)?.process;
             let backing_labels = match backing {
                 Some(fd) => {
-                    let file = st
-                        .processes
-                        .get(&pid)
-                        .ok_or(OsError::Internal)?
-                        .fds
-                        .get(fd)
-                        .cloned()
-                        .ok_or(OsError::BadFd)?;
-                    Some(Kernel::inode_labels(st, file.inode)?)
+                    let file =
+                        st.proc(pid)?.fds.get(fd).cloned().ok_or(OsError::BadFd)?;
+                    Some(st.inode_labels(file.inode)?)
                 }
                 None => None,
             };
@@ -1246,13 +1260,8 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::Fault`] if no such mapping exists.
     pub fn munmap(&self, start: u64) -> OsResult<()> {
-        self.kernel.syscall(|st| {
-            let pid = st
-                .tasks
-                .get(&self.tid)
-                .filter(|t| t.alive)
-                .ok_or(OsError::NoSuchTask)?
-                .process;
+        self.kernel.syscall_on(self.tid, |st| {
+            let pid = st.task_alive(self.tid)?.process;
             let p = st.proc_mut(pid)?;
             let before = p.vm_areas.len();
             p.vm_areas.retain(|a| a.start != start);
@@ -1268,13 +1277,8 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::Fault`] if no such mapping exists.
     pub fn mprotect(&self, start: u64, read: bool, write: bool) -> OsResult<()> {
-        self.kernel.syscall(|st| {
-            let pid = st
-                .tasks
-                .get(&self.tid)
-                .filter(|t| t.alive)
-                .ok_or(OsError::NoSuchTask)?
-                .process;
+        self.kernel.syscall_on(self.tid, |st| {
+            let pid = st.task_alive(self.tid)?.process;
             let p = st.proc_mut(pid)?;
             let area =
                 p.vm_areas.iter_mut().find(|a| a.start == start).ok_or(OsError::Fault)?;
@@ -1292,14 +1296,16 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::Fault`] on an illegal access.
     pub fn page_access(&self, page: u64, is_write: bool) -> OsResult<()> {
-        let st = self.kernel.state.lock();
-        let pid = st
-            .tasks
-            .get(&self.tid)
-            .filter(|t| t.alive)
-            .ok_or(OsError::NoSuchTask)?
-            .process;
-        let p = st.processes.get(&pid).ok_or(OsError::Internal)?;
+        let pid = {
+            let shard = self.kernel.tables.tasks_for(self.tid);
+            shard
+                .get(&self.tid)
+                .filter(|t| t.alive)
+                .map(|t| t.process)
+                .ok_or(OsError::NoSuchTask)?
+        };
+        let shard = self.kernel.tables.procs_for(pid);
+        let p = shard.get(&pid).ok_or(OsError::Internal)?;
         for a in &p.vm_areas {
             if page >= a.start && page < a.start + a.pages {
                 let ok = if is_write { a.write } else { a.read };

@@ -1,22 +1,36 @@
-//! The syscall transaction: an undo journal over [`KState`].
+//! The syscall transaction: shard locking plus an undo journal.
 //!
-//! Every syscall body runs against a [`Txn`] instead of the raw kernel
-//! state. Reads pass through (`Txn` derefs to `&KState`); the *first*
-//! mutation of any table entry snapshots that entry into the journal.
-//! The dispatch loop in [`crate::kernel::Kernel::syscall`] then either
-//! commits (drops the journal) or rolls back — on an internal panic
-//! caught at the syscall boundary *or* on an error return — restoring
-//! every journalled entry in reverse order, so a failed or faulted
-//! syscall is a byte-for-byte no-op on the security state (labels,
-//! capabilities, fd tables, inodes, pipe buffers).
+//! Every syscall body runs against a [`Txn`]. The transaction owns the
+//! set of shard locks the syscall has acquired so far (two-phase
+//! locking: shards are added in ascending [`ShardKey`] order and held
+//! until commit/rollback) and an undo journal: the *first* mutation of
+//! any table entry snapshots that entry. The dispatch loop in
+//! [`crate::kernel::Kernel::syscall_on`] then either commits (drops the
+//! journal) or rolls back — on an internal panic caught at the syscall
+//! boundary *or* on an error return — restoring every journalled entry
+//! in reverse order, so a failed or faulted syscall is a byte-for-byte
+//! no-op on the security state. Rollback only ever touches entries in
+//! shards the transaction holds: journalling happens strictly after the
+//! corresponding shard lock is acquired.
 //!
-//! Two deliberate exceptions to journalling:
+//! If a body needs a shard *below* the highest one it already holds, the
+//! accessor returns the internal [`OsError::Retry`] sentinel; the
+//! dispatcher rolls back, widens its lock footprint and restarts the
+//! body with every needed shard pre-locked in ascending order. The
+//! [`IdCache`] keeps restarts deterministic: the nth id allocation of a
+//! kind returns the same id on every attempt, so the footprint converges
+//! instead of chasing freshly minted ids.
 //!
-//! * `hook_calls` is monotonic observability (tests pin that it only
-//!   grows), not security state — it is never rolled back.
-//! * The [`laminar_difc::TagAllocator`] lives outside `KState`; a tag id
-//!   minted by an aborted `alloc_tag` is simply never used, which is
-//!   invisible (tag ids are opaque and unique).
+//! Deliberate exceptions to journalling:
+//!
+//! * LSM hook counts are monotonic observability (tests pin that the
+//!   counter only grows), not security state. They accumulate in the
+//!   transaction and are flushed to the kernel's atomic counter on every
+//!   exit *except* a footprint restart, so restarts do not inflate them.
+//! * The [`laminar_difc::TagAllocator`] lives outside the journal; a tag
+//!   id minted by an aborted `alloc_tag` is simply never used, which is
+//!   invisible (tag ids are opaque and unique). The same holds for
+//!   task/process/inode ids cached by an aborted attempt.
 //!
 //! Resource quotas ([`Quotas`]) are enforced here too, at the points
 //! where a transaction allocates: inode creation, fd insertion and tag
@@ -25,11 +39,14 @@
 //! operation succeeds again once the resource is released.
 
 use crate::error::{OsError, OsResult};
-use crate::kernel::KState;
+use crate::kernel::Kernel;
+use crate::shard::{HeldShard, ShardGuard, ShardKey};
 use crate::task::{ProcessId, ProcessStruct, TaskId, TaskSec, TaskStruct, UserId};
 use crate::vfs::file::{Fd, OpenFile};
 use crate::vfs::inode::{Inode, InodeId, InodeKind, Xattrs};
-use laminar_difc::{CapSet, SecPair};
+use laminar_difc::{CapSet, SecPair, Tag};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::Ordering;
 
 /// Resource limits enforced per kernel instance (fixed at boot).
 ///
@@ -59,6 +76,63 @@ impl Default for Quotas {
     }
 }
 
+/// Per-syscall cache of freshly minted ids. Ids come from the kernel's
+/// global atomic counters (so they are unique across threads), but the
+/// cache replays them positionally across footprint restarts: the nth
+/// allocation of a kind yields the same id on every attempt, keeping the
+/// restarted body's lock footprint stable.
+#[derive(Default)]
+pub(crate) struct IdCache {
+    tasks: Vec<u64>,
+    procs: Vec<u64>,
+    inodes: Vec<u64>,
+    tags: Vec<Tag>,
+    cur: (usize, usize, usize, usize),
+}
+
+impl IdCache {
+    /// Rewinds the positional cursors for a fresh attempt.
+    pub(crate) fn reset_cursors(&mut self) {
+        self.cur = (0, 0, 0, 0);
+    }
+
+    fn next_task(&mut self, k: &Kernel) -> TaskId {
+        let i = self.cur.0;
+        self.cur.0 += 1;
+        if i == self.tasks.len() {
+            self.tasks.push(k.next_task.fetch_add(1, Ordering::Relaxed));
+        }
+        TaskId(self.tasks[i])
+    }
+
+    fn next_proc(&mut self, k: &Kernel) -> ProcessId {
+        let i = self.cur.1;
+        self.cur.1 += 1;
+        if i == self.procs.len() {
+            self.procs.push(k.next_proc.fetch_add(1, Ordering::Relaxed));
+        }
+        ProcessId(self.procs[i])
+    }
+
+    fn next_inode(&mut self, k: &Kernel) -> InodeId {
+        let i = self.cur.2;
+        self.cur.2 += 1;
+        if i == self.inodes.len() {
+            self.inodes.push(k.next_inode.fetch_add(1, Ordering::Relaxed));
+        }
+        InodeId(self.inodes[i])
+    }
+
+    fn next_tag(&mut self, k: &Kernel) -> Tag {
+        let i = self.cur.3;
+        self.cur.3 += 1;
+        if i == self.tags.len() {
+            self.tags.push(k.tags.fresh());
+        }
+        self.tags[i]
+    }
+}
+
 /// One undo record: the state of an entry before its first mutation in
 /// this transaction (`None` = the entry did not exist).
 enum Undo {
@@ -82,154 +156,344 @@ enum Undo {
 
 /// An in-flight syscall transaction (see the module docs).
 pub(crate) struct Txn<'a> {
-    st: &'a mut KState,
-    quotas: &'a Quotas,
-    #[cfg(feature = "fault-injection")]
-    failpoints: &'a crate::kernel::Failpoints,
+    kernel: &'a Kernel,
+    /// Held shard locks, sorted ascending by key (the total lock order).
+    guards: Vec<HeldShard<'a>>,
     journal: Vec<Undo>,
-    next_ids: (u64, u64, u64),
-}
-
-impl std::ops::Deref for Txn<'_> {
-    type Target = KState;
-    fn deref(&self) -> &KState {
-        self.st
-    }
+    ids: &'a mut IdCache,
+    /// LSM hook invocations this attempt; flushed by the dispatcher.
+    hooks: u64,
 }
 
 impl<'a> Txn<'a> {
-    pub(crate) fn new(
-        st: &'a mut KState,
-        quotas: &'a Quotas,
-        #[cfg(feature = "fault-injection")] failpoints: &'a crate::kernel::Failpoints,
+    /// Starts a transaction with every shard in `footprint` pre-locked
+    /// in ascending order.
+    pub(crate) fn begin(
+        kernel: &'a Kernel,
+        footprint: &BTreeSet<ShardKey>,
+        ids: &'a mut IdCache,
     ) -> Self {
-        let next_ids = (st.next_task, st.next_proc, st.next_inode);
-        Txn {
-            st,
-            quotas,
-            #[cfg(feature = "fault-injection")]
-            failpoints,
-            journal: Vec::new(),
-            next_ids,
+        ids.reset_cursors();
+        let mut guards = Vec::with_capacity(footprint.len() + 4);
+        for &key in footprint {
+            guards.push(kernel.tables.lock(key));
+        }
+        Txn { kernel, guards, journal: Vec::new(), ids, hooks: 0 }
+    }
+
+    /// Ensures the shard for `key` is held, acquiring it if it is above
+    /// every held shard; returns its index in the guard list.
+    ///
+    /// # Errors
+    /// [`OsError::Retry`] if acquiring would violate the total lock
+    /// order — the dispatcher widens the footprint and restarts.
+    fn require(&mut self, key: ShardKey) -> OsResult<usize> {
+        if let Some(i) = self.guards.iter().position(|g| g.key == key) {
+            return Ok(i);
+        }
+        if let Some(last) = self.guards.last() {
+            if last.key > key {
+                return Err(OsError::Retry(key.0));
+            }
+        }
+        self.guards.push(self.kernel.tables.lock(key));
+        Ok(self.guards.len() - 1)
+    }
+
+    // --- held-shard map access ----------------------------------------------
+
+    fn tasks_map(&mut self, id: TaskId) -> OsResult<&mut HashMap<TaskId, TaskStruct>> {
+        let i = self.require(ShardKey::task(id))?;
+        match &mut self.guards[i].guard {
+            ShardGuard::Tasks(g) => Ok(&mut **g),
+            _ => Err(OsError::Internal),
         }
     }
 
-    /// Restores every journalled entry (reverse order) and the id
-    /// counters, making the transaction a no-op on kernel state.
+    fn procs_map(
+        &mut self,
+        id: ProcessId,
+    ) -> OsResult<&mut HashMap<ProcessId, ProcessStruct>> {
+        let i = self.require(ShardKey::proc(id))?;
+        match &mut self.guards[i].guard {
+            ShardGuard::Procs(g) => Ok(&mut **g),
+            _ => Err(OsError::Internal),
+        }
+    }
+
+    fn inodes_map(&mut self, id: InodeId) -> OsResult<&mut HashMap<InodeId, Inode>> {
+        let i = self.require(ShardKey::inode(id))?;
+        match &mut self.guards[i].guard {
+            ShardGuard::Inodes(g) => Ok(&mut **g),
+            _ => Err(OsError::Internal),
+        }
+    }
+
+    fn registry_map(&mut self) -> OsResult<&mut crate::shard::Registry> {
+        let i = self.require(ShardKey::registry())?;
+        match &mut self.guards[i].guard {
+            ShardGuard::Registry(g) => Ok(&mut **g),
+            _ => Err(OsError::Internal),
+        }
+    }
+
+    /// Already-held shard lookup for rollback (never locks, never fails:
+    /// journalled entries always live in held shards).
+    fn held_tasks(&mut self, id: TaskId) -> Option<&mut HashMap<TaskId, TaskStruct>> {
+        let key = ShardKey::task(id);
+        let i = self.guards.iter().position(|g| g.key == key)?;
+        match &mut self.guards[i].guard {
+            ShardGuard::Tasks(g) => Some(&mut **g),
+            _ => None,
+        }
+    }
+
+    fn held_procs(
+        &mut self,
+        id: ProcessId,
+    ) -> Option<&mut HashMap<ProcessId, ProcessStruct>> {
+        let key = ShardKey::proc(id);
+        let i = self.guards.iter().position(|g| g.key == key)?;
+        match &mut self.guards[i].guard {
+            ShardGuard::Procs(g) => Some(&mut **g),
+            _ => None,
+        }
+    }
+
+    fn held_inodes(&mut self, id: InodeId) -> Option<&mut HashMap<InodeId, Inode>> {
+        let key = ShardKey::inode(id);
+        let i = self.guards.iter().position(|g| g.key == key)?;
+        match &mut self.guards[i].guard {
+            ShardGuard::Inodes(g) => Some(&mut **g),
+            _ => None,
+        }
+    }
+
+    fn held_registry(&mut self) -> Option<&mut crate::shard::Registry> {
+        let key = ShardKey::registry();
+        let i = self.guards.iter().position(|g| g.key == key)?;
+        match &mut self.guards[i].guard {
+            ShardGuard::Registry(g) => Some(&mut **g),
+            _ => None,
+        }
+    }
+
+    /// Restores every journalled entry (reverse order), making the
+    /// transaction a no-op on kernel state. Only touches held shards.
     pub(crate) fn rollback(&mut self) {
+        let kernel = self.kernel;
         while let Some(entry) = self.journal.pop() {
             match entry {
                 Undo::Task(id, Some(t)) => {
-                    self.st.tasks.insert(id, t);
+                    if let Some(m) = self.held_tasks(id) {
+                        m.insert(id, t);
+                    }
                 }
                 Undo::Task(id, None) => {
-                    self.st.tasks.remove(&id);
+                    if let Some(m) = self.held_tasks(id) {
+                        m.remove(&id);
+                    }
                 }
                 Undo::Proc(id, Some(p)) => {
-                    self.st.processes.insert(id, p);
+                    if let Some(m) = self.held_procs(id) {
+                        m.insert(id, p);
+                    }
                 }
                 Undo::Proc(id, None) => {
-                    self.st.processes.remove(&id);
+                    if let Some(m) = self.held_procs(id) {
+                        m.remove(&id);
+                    }
                 }
                 Undo::Inode(id, Some(i)) => {
-                    self.st.inodes.insert(id, i);
+                    if let Some(m) = self.held_inodes(id) {
+                        if m.insert(id, i).is_none() {
+                            kernel.inode_count.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
                 }
                 Undo::Inode(id, None) => {
-                    self.st.inodes.remove(&id);
+                    if let Some(m) = self.held_inodes(id) {
+                        if m.remove(&id).is_some() {
+                            kernel.inode_count.fetch_sub(1, Ordering::Relaxed);
+                        }
+                    }
                 }
                 Undo::FileRange { ino, offset, old_len, old_bytes } => {
-                    if let Some(InodeKind::File { data }) =
-                        self.st.inodes.get_mut(&ino).map(|i| &mut i.kind)
-                    {
-                        data.truncate(old_len);
-                        let end = (offset + old_bytes.len()).min(data.len());
-                        if offset <= end {
-                            data[offset..end].copy_from_slice(&old_bytes[..end - offset]);
+                    if let Some(m) = self.held_inodes(ino) {
+                        if let Some(InodeKind::File { data }) =
+                            m.get_mut(&ino).map(|i| &mut i.kind)
+                        {
+                            data.truncate(old_len);
+                            let end = (offset + old_bytes.len()).min(data.len());
+                            if offset <= end {
+                                data[offset..end]
+                                    .copy_from_slice(&old_bytes[..end - offset]);
+                            }
                         }
                     }
                 }
                 Undo::FdOffset(pid, fd, off) => {
-                    if let Some(f) =
-                        self.st.processes.get_mut(&pid).and_then(|p| p.fds.get_mut(fd))
-                    {
-                        f.offset = off;
+                    if let Some(m) = self.held_procs(pid) {
+                        if let Some(f) = m.get_mut(&pid).and_then(|p| p.fds.get_mut(fd)) {
+                            f.offset = off;
+                        }
                     }
                 }
                 Undo::PersistentCaps(user, Some(c)) => {
-                    self.st.persistent_caps.insert(user, c);
+                    if let Some(r) = self.held_registry() {
+                        r.persistent_caps.insert(user, c);
+                    }
                 }
                 Undo::PersistentCaps(user, None) => {
-                    self.st.persistent_caps.remove(&user);
+                    if let Some(r) = self.held_registry() {
+                        r.persistent_caps.remove(&user);
+                    }
                 }
                 Undo::TagsMinted(user, Some(n)) => {
-                    self.st.tags_minted.insert(user, n);
+                    if let Some(r) = self.held_registry() {
+                        r.tags_minted.insert(user, n);
+                    }
                 }
                 Undo::TagsMinted(user, None) => {
-                    self.st.tags_minted.remove(&user);
+                    if let Some(r) = self.held_registry() {
+                        r.tags_minted.remove(&user);
+                    }
                 }
             }
         }
-        self.st.next_task = self.next_ids.0;
-        self.st.next_proc = self.next_ids.1;
-        self.st.next_inode = self.next_ids.2;
     }
 
-    /// Bumps the (unjournalled, monotonic) LSM hook counter; the
+    /// Bumps the per-attempt LSM hook count (flushed at commit); the
     /// panic-at-hook failpoint fires here.
     pub(crate) fn count_hook(&mut self) {
-        self.st.hook_calls += 1;
+        self.hooks += 1;
         #[cfg(feature = "fault-injection")]
-        self.failpoints.fire_panic_at_hook();
+        self.kernel.failpoints.fire_panic_at_hook();
     }
 
-    fn save_task(&mut self, id: TaskId) {
-        if !self.journal.iter().any(|u| matches!(u, Undo::Task(t, _) if *t == id)) {
-            self.journal.push(Undo::Task(id, self.st.tasks.get(&id).cloned()));
+    /// Adds this attempt's hook count to the kernel's monotonic counter.
+    /// Called by the dispatcher on every exit except a footprint restart
+    /// (so restarts do not inflate the count).
+    pub(crate) fn flush_hooks(&mut self) {
+        if self.hooks > 0 {
+            self.kernel.hook_counter.fetch_add(self.hooks, Ordering::Relaxed);
+            self.hooks = 0;
         }
     }
 
-    fn save_proc(&mut self, id: ProcessId) {
-        if !self.journal.iter().any(|u| matches!(u, Undo::Proc(p, _) if *p == id)) {
-            self.journal.push(Undo::Proc(id, self.st.processes.get(&id).cloned()));
-        }
+    // --- read accessors ------------------------------------------------------
+
+    /// The task entry, if present (dead or alive).
+    pub(crate) fn task_opt(&mut self, id: TaskId) -> OsResult<Option<&TaskStruct>> {
+        Ok(self.tasks_map(id)?.get(&id))
     }
 
-    fn save_inode(&mut self, id: InodeId) {
-        if !self.journal.iter().any(|u| matches!(u, Undo::Inode(i, _) if *i == id)) {
-            self.journal.push(Undo::Inode(id, self.st.inodes.get(&id).cloned()));
-        }
+    /// The task entry; [`OsError::NoSuchTask`] if missing.
+    pub(crate) fn task(&mut self, id: TaskId) -> OsResult<&TaskStruct> {
+        self.tasks_map(id)?.get(&id).ok_or(OsError::NoSuchTask)
+    }
+
+    /// The task entry, filtered to alive tasks.
+    pub(crate) fn task_alive(&mut self, id: TaskId) -> OsResult<&TaskStruct> {
+        self.tasks_map(id)?.get(&id).filter(|t| t.alive).ok_or(OsError::NoSuchTask)
+    }
+
+    /// A clone of an alive task's security context.
+    pub(crate) fn task_sec(&mut self, id: TaskId) -> OsResult<TaskSec> {
+        Ok(self.task_alive(id)?.security.clone())
+    }
+
+    /// The process entry, if present.
+    pub(crate) fn proc_opt(&mut self, id: ProcessId) -> OsResult<Option<&ProcessStruct>> {
+        Ok(self.procs_map(id)?.get(&id))
+    }
+
+    /// The process entry; a missing process for a live task is an
+    /// internal invariant failure.
+    pub(crate) fn proc(&mut self, id: ProcessId) -> OsResult<&ProcessStruct> {
+        self.procs_map(id)?.get(&id).ok_or(OsError::Internal)
+    }
+
+    /// The inode entry, if present.
+    pub(crate) fn inode_opt(&mut self, id: InodeId) -> OsResult<Option<&Inode>> {
+        Ok(self.inodes_map(id)?.get(&id))
+    }
+
+    /// The inode's labels; [`OsError::NotFound`] if missing.
+    pub(crate) fn inode_labels(&mut self, id: InodeId) -> OsResult<SecPair> {
+        self.inodes_map(id)?.get(&id).map(|i| i.labels().clone()).ok_or(OsError::NotFound)
     }
 
     // --- journalled mutators -------------------------------------------------
 
+    fn save_task(&mut self, id: TaskId) -> OsResult<()> {
+        if self.journal.iter().any(|u| matches!(u, Undo::Task(t, _) if *t == id)) {
+            return Ok(());
+        }
+        let prev = self.tasks_map(id)?.get(&id).cloned();
+        self.journal.push(Undo::Task(id, prev));
+        Ok(())
+    }
+
+    fn save_proc(&mut self, id: ProcessId) -> OsResult<()> {
+        if self.journal.iter().any(|u| matches!(u, Undo::Proc(p, _) if *p == id)) {
+            return Ok(());
+        }
+        let prev = self.procs_map(id)?.get(&id).cloned();
+        self.journal.push(Undo::Proc(id, prev));
+        Ok(())
+    }
+
+    fn save_inode(&mut self, id: InodeId) -> OsResult<()> {
+        if self.journal.iter().any(|u| matches!(u, Undo::Inode(i, _) if *i == id)) {
+            return Ok(());
+        }
+        let prev = self.inodes_map(id)?.get(&id).cloned();
+        self.journal.push(Undo::Inode(id, prev));
+        Ok(())
+    }
+
     pub(crate) fn task_mut(&mut self, id: TaskId) -> OsResult<&mut TaskStruct> {
-        self.save_task(id);
-        self.st.tasks.get_mut(&id).ok_or(OsError::NoSuchTask)
+        self.save_task(id)?;
+        self.tasks_map(id)?.get_mut(&id).ok_or(OsError::NoSuchTask)
     }
 
     pub(crate) fn proc_mut(&mut self, id: ProcessId) -> OsResult<&mut ProcessStruct> {
-        self.save_proc(id);
-        self.st.processes.get_mut(&id).ok_or(OsError::Internal)
+        self.save_proc(id)?;
+        self.procs_map(id)?.get_mut(&id).ok_or(OsError::Internal)
     }
 
     pub(crate) fn inode_mut(&mut self, id: InodeId) -> OsResult<&mut Inode> {
-        self.save_inode(id);
-        self.st.inodes.get_mut(&id).ok_or(OsError::NotFound)
+        self.save_inode(id)?;
+        self.inodes_map(id)?.get_mut(&id).ok_or(OsError::NotFound)
     }
 
-    pub(crate) fn remove_task(&mut self, id: TaskId) {
-        self.save_task(id);
-        self.st.tasks.remove(&id);
+    /// Like [`Txn::inode_mut`] but yields `None` for a genuinely missing
+    /// inode while still propagating lock-order restarts — callers that
+    /// tolerate absence must not swallow [`OsError::Retry`].
+    pub(crate) fn inode_mut_opt(&mut self, id: InodeId) -> OsResult<Option<&mut Inode>> {
+        self.save_inode(id)?;
+        Ok(self.inodes_map(id)?.get_mut(&id))
     }
 
-    pub(crate) fn remove_process(&mut self, id: ProcessId) {
-        self.save_proc(id);
-        self.st.processes.remove(&id);
+    pub(crate) fn remove_task(&mut self, id: TaskId) -> OsResult<()> {
+        self.save_task(id)?;
+        self.tasks_map(id)?.remove(&id);
+        Ok(())
     }
 
-    pub(crate) fn remove_inode(&mut self, id: InodeId) {
-        self.save_inode(id);
-        self.st.inodes.remove(&id);
+    pub(crate) fn remove_process(&mut self, id: ProcessId) -> OsResult<()> {
+        self.save_proc(id)?;
+        self.procs_map(id)?.remove(&id);
+        Ok(())
+    }
+
+    pub(crate) fn remove_inode(&mut self, id: InodeId) -> OsResult<()> {
+        self.save_inode(id)?;
+        if self.inodes_map(id)?.remove(&id).is_some() {
+            self.kernel.inode_count.fetch_sub(1, Ordering::Relaxed);
+        }
+        Ok(())
     }
 
     /// Allocates a fresh inode, enforcing the inode quota.
@@ -239,18 +503,22 @@ impl<'a> Txn<'a> {
         labels: SecPair,
     ) -> OsResult<InodeId> {
         #[cfg(feature = "fault-injection")]
-        if self.failpoints.take_quota() {
+        if self.kernel.failpoints.take_quota() {
             return Err(OsError::QuotaExceeded("injected allocation failure"));
         }
-        if self.st.inodes.len() >= self.quotas.max_inodes {
+        if self.kernel.inode_count.load(Ordering::Relaxed) as usize
+            >= self.kernel.quotas.max_inodes
+        {
             return Err(OsError::QuotaExceeded("inodes"));
         }
-        let id = InodeId(self.st.next_inode);
-        self.st.next_inode += 1;
+        let id = self.ids.next_inode(self.kernel);
+        // Lock (and possibly restart) *before* journalling, so rollback
+        // never needs a shard the transaction does not hold.
+        self.require(ShardKey::inode(id))?;
         self.journal.push(Undo::Inode(id, None));
-        self.st
-            .inodes
+        self.inodes_map(id)?
             .insert(id, Inode { id, kind, xattrs: Xattrs { labels }, nlink: 1 });
+        self.kernel.inode_count.fetch_add(1, Ordering::Relaxed);
         Ok(id)
     }
 
@@ -259,11 +527,14 @@ impl<'a> Txn<'a> {
     /// frees quota even though fd numbers are never reused).
     pub(crate) fn fd_insert(&mut self, pid: ProcessId, file: OpenFile) -> OsResult<Fd> {
         #[cfg(feature = "fault-injection")]
-        if self.failpoints.take_quota() {
+        if self.kernel.failpoints.take_quota() {
             return Err(OsError::QuotaExceeded("injected allocation failure"));
         }
-        let open = self.st.processes.get(&pid).map_or(0, |p| p.fds.len());
-        if open >= self.quotas.max_fds_per_process {
+        let open = match self.proc_opt(pid)? {
+            Some(p) => p.fds.len(),
+            None => 0,
+        };
+        if open >= self.kernel.quotas.max_fds_per_process {
             return Err(OsError::QuotaExceeded("file descriptors"));
         }
         Ok(self.proc_mut(pid)?.fds.insert(file))
@@ -277,14 +548,16 @@ impl<'a> Txn<'a> {
         fd: Fd,
         offset: u64,
     ) -> OsResult<()> {
-        let f = self
-            .st
-            .processes
-            .get_mut(&pid)
-            .and_then(|p| p.fds.get_mut(fd))
-            .ok_or(OsError::BadFd)?;
-        let old = f.offset;
-        f.offset = offset;
+        let old = {
+            let f = self
+                .procs_map(pid)?
+                .get_mut(&pid)
+                .and_then(|p| p.fds.get_mut(fd))
+                .ok_or(OsError::BadFd)?;
+            let old = f.offset;
+            f.offset = offset;
+            old
+        };
         self.journal.push(Undo::FdOffset(pid, fd, old));
         Ok(())
     }
@@ -298,88 +571,103 @@ impl<'a> Txn<'a> {
         offset: usize,
         buf: &[u8],
     ) -> OsResult<()> {
-        let data = match self.st.inodes.get_mut(&ino).map(|i| &mut i.kind) {
-            Some(InodeKind::File { data }) => data,
-            _ => return Err(OsError::Internal),
+        let undo = {
+            let data = match self.inodes_map(ino)?.get_mut(&ino).map(|i| &mut i.kind) {
+                Some(InodeKind::File { data }) => data,
+                _ => return Err(OsError::Internal),
+            };
+            let old_len = data.len();
+            let end = (offset + buf.len()).min(old_len);
+            let old_bytes =
+                if offset < end { data[offset..end].to_vec() } else { Vec::new() };
+            if offset + buf.len() > data.len() {
+                data.resize(offset + buf.len(), 0);
+            }
+            data[offset..offset + buf.len()].copy_from_slice(buf);
+            Undo::FileRange { ino, offset, old_len, old_bytes }
         };
-        let old_len = data.len();
-        let end = (offset + buf.len()).min(old_len);
-        let old_bytes =
-            if offset < end { data[offset..end].to_vec() } else { Vec::new() };
-        self.journal.push(Undo::FileRange { ino, offset, old_len, old_bytes });
-        if offset + buf.len() > data.len() {
-            data.resize(offset + buf.len(), 0);
-        }
-        data[offset..offset + buf.len()].copy_from_slice(buf);
+        self.journal.push(undo);
         Ok(())
     }
 
     /// Journalled update of a user's persistent capability file.
-    pub(crate) fn set_persistent_caps(&mut self, user: UserId, caps: CapSet) {
+    pub(crate) fn set_persistent_caps(
+        &mut self,
+        user: UserId,
+        caps: CapSet,
+    ) -> OsResult<()> {
+        let prev = self.registry_map()?.persistent_caps.get(&user).cloned();
         if !self
             .journal
             .iter()
             .any(|u| matches!(u, Undo::PersistentCaps(w, _) if *w == user))
         {
-            self.journal.push(Undo::PersistentCaps(
-                user,
-                self.st.persistent_caps.get(&user).cloned(),
-            ));
+            self.journal.push(Undo::PersistentCaps(user, prev));
         }
-        self.st.persistent_caps.insert(user, caps);
+        self.registry_map()?.persistent_caps.insert(user, caps);
+        Ok(())
     }
 
     /// Accounts one tag minted by `user`, enforcing the per-user tag
     /// quota.
     pub(crate) fn mint_tag(&mut self, user: UserId) -> OsResult<()> {
         #[cfg(feature = "fault-injection")]
-        if self.failpoints.take_quota() {
+        if self.kernel.failpoints.take_quota() {
             return Err(OsError::QuotaExceeded("injected allocation failure"));
         }
-        let minted = self.st.tags_minted.get(&user).copied();
-        if minted.unwrap_or(0) >= self.quotas.max_tags_per_user {
+        let minted = self.registry_map()?.tags_minted.get(&user).copied();
+        if minted.unwrap_or(0) >= self.kernel.quotas.max_tags_per_user {
             return Err(OsError::QuotaExceeded("tags"));
         }
         if !self.journal.iter().any(|u| matches!(u, Undo::TagsMinted(w, _) if *w == user))
         {
             self.journal.push(Undo::TagsMinted(user, minted));
         }
-        *self.st.tags_minted.entry(user).or_insert(0) += 1;
+        *self.registry_map()?.tags_minted.entry(user).or_insert(0) += 1;
         Ok(())
     }
 
+    /// Mints a fresh tag, replay-stable across footprint restarts.
+    pub(crate) fn fresh_tag(&mut self) -> Tag {
+        self.ids.next_tag(self.kernel)
+    }
+
     /// Spawns a fresh single-task process (journalled); used by `fork`.
+    /// Returns `(task, process)` ids.
     pub(crate) fn spawn_process(
         &mut self,
         user: UserId,
         cwd: InodeId,
         caps: CapSet,
-    ) -> TaskId {
-        let pid = ProcessId(self.st.next_proc);
-        self.st.next_proc += 1;
-        let tid = TaskId(self.st.next_task);
-        self.st.next_task += 1;
+    ) -> OsResult<(TaskId, ProcessId)> {
+        let tid = self.ids.next_task(self.kernel);
+        let pid = self.ids.next_proc(self.kernel);
+        // Ascending domains: task shards rank below process shards.
+        self.require(ShardKey::task(tid))?;
+        self.require(ShardKey::proc(pid))?;
         self.journal.push(Undo::Proc(pid, None));
-        self.st.processes.insert(pid, ProcessStruct::fresh(pid, tid, cwd));
+        self.procs_map(pid)?.insert(pid, ProcessStruct::fresh(pid, tid, cwd));
         self.journal.push(Undo::Task(tid, None));
-        self.st.tasks.insert(
+        self.tasks_map(tid)?.insert(
             tid,
             TaskStruct::fresh(tid, pid, user, TaskSec::new(SecPair::unlabeled(), caps)),
         );
-        tid
+        Ok((tid, pid))
     }
 
-    /// Mints a fresh task id (journalled via the id-counter snapshot);
-    /// used by `spawn_thread`, which inserts the task itself.
+    /// Mints a fresh task id (replay-stable); used by `spawn_thread`,
+    /// which inserts the task itself.
     pub(crate) fn fresh_task_id(&mut self) -> TaskId {
-        let tid = TaskId(self.st.next_task);
-        self.st.next_task += 1;
-        tid
+        self.ids.next_task(self.kernel)
     }
 
     /// Records a task insertion (for `spawn_thread`).
-    pub(crate) fn insert_task(&mut self, task: TaskStruct) {
-        self.journal.push(Undo::Task(task.id, self.st.tasks.get(&task.id).cloned()));
-        self.st.tasks.insert(task.id, task);
+    pub(crate) fn insert_task(&mut self, task: TaskStruct) -> OsResult<()> {
+        let id = task.id;
+        self.require(ShardKey::task(id))?;
+        let prev = self.tasks_map(id)?.get(&id).cloned();
+        self.journal.push(Undo::Task(id, prev));
+        self.tasks_map(id)?.insert(id, task);
+        Ok(())
     }
 }

@@ -78,10 +78,6 @@ pub(crate) struct FdTable {
 }
 
 impl FdTable {
-    pub(crate) fn new() -> Self {
-        FdTable::default()
-    }
-
     pub(crate) fn insert(&mut self, file: OpenFile) -> Fd {
         let fd = Fd(self.next);
         self.next += 1;
@@ -130,7 +126,7 @@ mod tests {
 
     #[test]
     fn fd_table_alloc_and_remove() {
-        let mut t = FdTable::new();
+        let mut t = FdTable::default();
         let f0 = t.insert(OpenFile {
             inode: InodeId(1),
             mode: OpenMode::Read,
@@ -163,7 +159,7 @@ mod tests {
 
     #[test]
     fn fork_copies_table() {
-        let mut t = FdTable::new();
+        let mut t = FdTable::default();
         let fd = t.insert(OpenFile {
             inode: InodeId(1),
             mode: OpenMode::ReadWrite,

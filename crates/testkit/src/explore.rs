@@ -61,7 +61,9 @@ pub fn run_trace(ops: &[Op], plan: &FaultPlan) -> Result<(), Divergence> {
     for (i, op) in ops.iter().enumerate() {
         if let Some(n) = plan.poison_every {
             if n > 0 && i % n == 0 {
-                kernel.poison_big_lock();
+                // Rotate through the shards so every lock in the map
+                // gets poisoned (and recovered from) over a trace.
+                kernel.poison_shard(i / n);
             }
         }
         if let Some((fp, n)) = failpoint {
@@ -129,8 +131,24 @@ pub fn run_trace(ops: &[Op], plan: &FaultPlan) -> Result<(), Divergence> {
 /// not actually diverge under `plan`.
 #[must_use]
 pub fn shrink(ops: &[Op], plan: &FaultPlan) -> (Vec<Op>, Divergence) {
-    let mut current = ops.to_vec();
-    let mut divergence = match run_trace(&current, plan) {
+    shrink_with(ops, |t| run_trace(t, plan))
+}
+
+/// The generic delta-debugging core behind [`shrink`]: minimizes any
+/// item sequence against any replay function that reports a
+/// [`Divergence`]. The concurrent explorer reuses it to minimize a
+/// witnessed linearization.
+///
+/// # Panics
+/// If `items` does not diverge under `replay`.
+#[must_use]
+pub fn shrink_with<T, F>(items: &[T], mut replay: F) -> (Vec<T>, Divergence)
+where
+    T: Clone,
+    F: FnMut(&[T]) -> Result<(), Divergence>,
+{
+    let mut current = items.to_vec();
+    let mut divergence = match replay(&current) {
         Err(d) => d,
         Ok(()) => panic!("shrink called on a conforming trace"),
     };
@@ -138,7 +156,7 @@ pub fn shrink(ops: &[Op], plan: &FaultPlan) -> (Vec<Op>, Divergence) {
         for i in 0..current.len() {
             let mut candidate = current.clone();
             candidate.remove(i);
-            if let Err(d) = run_trace(&candidate, plan) {
+            if let Err(d) = replay(&candidate) {
                 current = candidate;
                 divergence = d;
                 continue 'outer;
@@ -220,7 +238,7 @@ impl ExploreConfig {
     }
 }
 
-fn env_u64(name: &str) -> Option<u64> {
+pub(crate) fn env_u64(name: &str) -> Option<u64> {
     let v = std::env::var(name).ok()?;
     let v = v.trim();
     let parsed = if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X"))

@@ -27,7 +27,8 @@ pub use laminar_os::SyscallFailpoint;
 pub struct FaultPlan {
     /// Cache fault mode armed for the whole run.
     pub cache: FaultMode,
-    /// If set, poison the kernel's big lock before every `n`th op.
+    /// If set, poison one kernel lock shard before every `n`th op
+    /// (rotating through the shard map over the trace).
     pub poison_every: Option<usize>,
     /// If set, arm [`SyscallFailpoint::PanicAtHook`] before every `n`th
     /// op: the next LSM hook unwinds mid-syscall.
@@ -102,7 +103,7 @@ impl FaultPlan {
 /// `catch_unwind`, so without this a fault regime prints thousands of
 /// backtraces for panics that are the whole point of the test. Every
 /// other panic is delegated to the previously installed hook.
-pub(crate) fn silence_injected_panics() {
+pub fn silence_injected_panics() {
     use std::sync::OnceLock;
     static ONCE: OnceLock<()> = OnceLock::new();
     ONCE.get_or_init(|| {

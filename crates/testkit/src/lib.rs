@@ -24,6 +24,9 @@
 //!   bit-identical, plus syscall failpoints (mid-hook panic, post-body
 //!   abort, quota exhaustion) under which every faulted op must be a
 //!   security-state no-op.
+//! * [`concurrent`] — the commit-order-witness regime: lanes of ops run
+//!   in parallel over disjoint task sets, then the kernel's witnessed
+//!   commit order is replayed through the single-threaded oracle.
 //!
 //! Reproducing a CI failure locally:
 //!
@@ -35,14 +38,20 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod concurrent;
 pub mod explore;
 pub mod fault;
 pub mod oracle;
 pub mod replay;
 pub mod trace;
 
+pub use concurrent::{
+    assert_concurrent_conformance, explore_concurrent, generate_concurrent_trace,
+    run_concurrent_trace, run_linearized, ConcurrentConfig, ConcurrentCounterexample,
+    WitnessedOp,
+};
 pub use explore::{
-    assert_conformance, explore, render_regression_test, run_trace, shrink,
+    assert_conformance, explore, render_regression_test, run_trace, shrink, shrink_with,
     Counterexample, Divergence, ExploreConfig, ExploreReport,
 };
 pub use fault::{CacheFaultGuard, FaultMode, FaultPlan, SyscallFailpoint};

@@ -271,7 +271,7 @@ pub struct MDir {
 /// replay adapter builds (see [`crate::trace`] module docs).
 #[derive(Clone, Debug)]
 pub struct Oracle {
-    /// Tasks 0..[`TASKS`].
+    /// Tasks 0..[`TASKS`] (more under [`Oracle::with_tasks`]).
     pub tasks: Vec<MTask>,
     /// Directory slots 0..[`DIRS`].
     pub dirs: Vec<MDir>,
@@ -291,12 +291,23 @@ impl Oracle {
     /// The fixture state: see the [`crate::trace`] module docs.
     #[must_use]
     pub fn new() -> Self {
+        Self::with_tasks(TASKS)
+    }
+
+    /// The fixture state with `n >= 3` tasks: the standard three, plus
+    /// `n - 3` further capability-less tasks (mirroring
+    /// [`crate::KernelReplay::with_tasks`]).
+    ///
+    /// # Panics
+    /// If `n < 3`.
+    #[must_use]
+    pub fn with_tasks(n: usize) -> Self {
+        assert!(n >= 3, "the fixture needs at least the standard 3 tasks");
         let mut t0 = MTask::default();
         t0.caps.plus.extend([0, 1]);
         t0.caps.minus.extend([0, 1]);
         let mut t1 = MTask::default();
         t1.caps.plus.insert(0);
-        let t2 = MTask::default();
 
         let live = |labels: MPair| MDir { exists: true, labels, files: BTreeMap::new() };
         let dirs = vec![
@@ -312,7 +323,9 @@ impl Oracle {
             MPipe::with_labels(MPair::from_masks(1, 0)),
             MPipe::with_labels(MPair::from_masks(0, 2)),
         ];
-        Oracle { tasks: vec![t0, t1, t2], dirs, pipes, tags_allocated: 2 }
+        let mut tasks = vec![t0, t1];
+        tasks.resize_with(n, MTask::default);
+        Oracle { tasks, dirs, pipes, tags_allocated: 2 }
     }
 
     /// Truncates a label mask to the allocated-tag universe.
@@ -391,13 +404,14 @@ impl Oracle {
     /// kernel's syscall layer; the conformance tests depend on it.
     #[allow(clippy::too_many_lines)] // one arm per syscall, kept together
     pub fn apply(&mut self, op: &Op, idx: usize) -> Outcome {
+        let nt = self.tasks.len();
         match *op {
             Op::AllocTag { task } => {
                 if self.tags_allocated >= TAG_CEILING {
                     return Outcome::Ok; // symmetric no-op guard
                 }
                 let t = self.tags_allocated;
-                let caps = &mut self.tasks[task as usize % TASKS].caps;
+                let caps = &mut self.tasks[task as usize % nt].caps;
                 caps.plus.insert(t);
                 caps.minus.insert(t);
                 self.tags_allocated += 1;
@@ -405,7 +419,7 @@ impl Oracle {
             }
             Op::SetLabel { task, secrecy, mask } => {
                 let new = MLabel::from_mask(self.norm_mask(mask));
-                let t = &mut self.tasks[task as usize % TASKS];
+                let t = &mut self.tasks[task as usize % nt];
                 let cur = if secrecy { &t.labels.secrecy } else { &t.labels.integrity };
                 if *cur == new {
                     return Outcome::Ok; // identity fast path
@@ -422,7 +436,7 @@ impl Oracle {
             }
             Op::DropCaps { task, plus_mask, minus_mask } => {
                 let (p, m) = (self.norm_mask(plus_mask), self.norm_mask(minus_mask));
-                let caps = &mut self.tasks[task as usize % TASKS].caps;
+                let caps = &mut self.tasks[task as usize % nt].caps;
                 for b in 0..8u32 {
                     if p & (1 << b) != 0 {
                         caps.plus.remove(&b);
@@ -435,7 +449,7 @@ impl Oracle {
             }
             Op::WriteCap { task, pipe, tag, plus } => {
                 let t = self.norm_tag(tag);
-                let task = &self.tasks[task as usize % TASKS];
+                let task = &self.tasks[task as usize % nt];
                 if !task.caps.has(t, plus) {
                     return Outcome::Denied(DenyKind::Permission);
                 }
@@ -446,7 +460,7 @@ impl Oracle {
                 Outcome::Ok
             }
             Op::ReadCap { task, pipe } => {
-                let ti = task as usize % TASKS;
+                let ti = task as usize % nt;
                 let pipe = &mut self.pipes[pipe as usize % PIPES];
                 if !pipe.labels.flows_to(&self.tasks[ti].labels) {
                     return Outcome::Denied(DenyKind::Flow);
@@ -464,7 +478,7 @@ impl Oracle {
             }
             Op::PipeWrite { task, pipe, len } => {
                 let data = payload(idx, len);
-                let task = &self.tasks[task as usize % TASKS];
+                let task = &self.tasks[task as usize % nt];
                 let pipe = &mut self.pipes[pipe as usize % PIPES];
                 if task.labels.flows_to(&pipe.labels) {
                     pipe.push_bytes(&data);
@@ -472,7 +486,7 @@ impl Oracle {
                 Outcome::Ok
             }
             Op::PipeRead { task, pipe, max } => {
-                let task = &self.tasks[task as usize % TASKS];
+                let task = &self.tasks[task as usize % nt];
                 let pipe = &mut self.pipes[pipe as usize % PIPES];
                 if !pipe.labels.flows_to(&task.labels) {
                     return Outcome::Denied(DenyKind::Flow);
@@ -482,7 +496,7 @@ impl Oracle {
             Op::CreateFile { task, dir, slot, s_mask, i_mask } => {
                 let (d, slot) = (dir as usize % DIRS, slot % FILE_SLOTS);
                 let new = self.pair(s_mask, i_mask);
-                let task = &self.tasks[task as usize % TASKS];
+                let task = &self.tasks[task as usize % nt];
                 if let Err(k) = self.traverse_into(&task.labels, d) {
                     return Outcome::Denied(k);
                 }
@@ -498,7 +512,7 @@ impl Oracle {
             Op::MkdirLabeled { task, dir, s_mask, i_mask } => {
                 let d = 4 + dir as usize % 2;
                 let new = self.pair(s_mask, i_mask);
-                let task = &self.tasks[task as usize % TASKS];
+                let task = &self.tasks[task as usize % nt];
                 if let Err(k) = self.traverse_to(&task.labels, d) {
                     return Outcome::Denied(k);
                 }
@@ -514,7 +528,7 @@ impl Oracle {
             }
             Op::WriteFile { task, dir, slot, len } => {
                 let (d, slot) = (dir as usize % DIRS, slot % FILE_SLOTS);
-                let task = &self.tasks[task as usize % TASKS];
+                let task = &self.tasks[task as usize % nt];
                 if let Err(k) = self.traverse_into(&task.labels, d) {
                     return Outcome::Denied(k);
                 }
@@ -535,7 +549,7 @@ impl Oracle {
             }
             Op::ReadFile { task, dir, slot } => {
                 let (d, slot) = (dir as usize % DIRS, slot % FILE_SLOTS);
-                let task = &self.tasks[task as usize % TASKS];
+                let task = &self.tasks[task as usize % nt];
                 if let Err(k) = self.traverse_into(&task.labels, d) {
                     return Outcome::Denied(k);
                 }
@@ -549,7 +563,7 @@ impl Oracle {
             }
             Op::GetLabels { task, dir, slot } => {
                 let (d, slot) = (dir as usize % DIRS, slot % FILE_SLOTS);
-                let task = &self.tasks[task as usize % TASKS];
+                let task = &self.tasks[task as usize % nt];
                 if let Err(k) = self.traverse_into(&task.labels, d) {
                     return Outcome::Denied(k);
                 }
@@ -561,7 +575,7 @@ impl Oracle {
             }
             Op::Unlink { task, dir, slot } => {
                 let (d, slot) = (dir as usize % DIRS, slot % FILE_SLOTS);
-                let task = &self.tasks[task as usize % TASKS];
+                let task = &self.tasks[task as usize % nt];
                 if let Err(k) = self.traverse_into(&task.labels, d) {
                     return Outcome::Denied(k);
                 }
@@ -577,7 +591,7 @@ impl Oracle {
             }
             Op::Rmdir { task, dir } => {
                 let d = 2 + dir as usize % 4;
-                let task = &self.tasks[task as usize % TASKS];
+                let task = &self.tasks[task as usize % nt];
                 if let Err(k) = self.traverse_to(&task.labels, d) {
                     return Outcome::Denied(k);
                 }
@@ -596,7 +610,7 @@ impl Oracle {
             }
             Op::Readdir { task, dir } => {
                 let d = dir as usize % DIRS;
-                let task = &self.tasks[task as usize % TASKS];
+                let task = &self.tasks[task as usize % nt];
                 if let Err(k) = self.traverse_to(&task.labels, d) {
                     return Outcome::Denied(k);
                 }
@@ -620,18 +634,18 @@ impl Oracle {
                 Outcome::Names(names)
             }
             Op::Kill { task, target, sig } => {
-                let (from, to) = (task as usize % TASKS, target as usize % TASKS);
+                let (from, to) = (task as usize % nt, target as usize % nt);
                 if self.tasks[from].labels.flows_to(&self.tasks[to].labels) {
                     self.tasks[to].signals.push_back(sig);
                 } // else: silently dropped — the sender cannot tell
                 Outcome::Ok
             }
             Op::NextSignal { task } => {
-                Outcome::Sig(self.tasks[task as usize % TASKS].signals.pop_front())
+                Outcome::Sig(self.tasks[task as usize % nt].signals.pop_front())
             }
             Op::VmBarrier { task, write, s_mask, i_mask } => {
                 let obj = self.pair(s_mask, i_mask);
-                let thread = &self.tasks[task as usize % TASKS].labels;
+                let thread = &self.tasks[task as usize % nt].labels;
                 let ok = if write { thread.flows_to(&obj) } else { obj.flows_to(thread) };
                 if ok {
                     Outcome::Ok
@@ -640,7 +654,7 @@ impl Oracle {
                 }
             }
             Op::RegionEnter { task, s_mask, i_mask, plus_mask, minus_mask } => {
-                let t = &self.tasks[task as usize % TASKS];
+                let t = &self.tasks[task as usize % nt];
                 let rs = MLabel::from_mask(self.norm_mask(s_mask));
                 let ri = MLabel::from_mask(self.norm_mask(i_mask));
                 // §4.3.2: each region tag must be acquirable (a plus

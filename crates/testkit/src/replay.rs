@@ -20,7 +20,12 @@ use laminar_os::{
 use std::sync::Arc;
 
 /// The kernel-side half of a conformance run.
-#[derive(Debug)]
+///
+/// `Clone` produces another *view* of the same kernel (handles and fds
+/// are shared); the concurrent explorer hands one view to each worker
+/// thread. Cloning is only sound while no [`Op::AllocTag`] can run —
+/// the concurrent vocabulary excludes it, so the tag table is frozen.
+#[derive(Clone, Debug)]
 pub struct KernelReplay {
     kernel: Arc<Kernel>,
     tasks: Vec<TaskHandle>,
@@ -52,6 +57,17 @@ impl KernelReplay {
     #[must_use]
     #[allow(clippy::missing_panics_doc)] // setup panics are test failures
     pub fn new() -> Self {
+        Self::with_tasks(TASKS)
+    }
+
+    /// Like [`KernelReplay::new`] but with `n >= 3` tasks: the standard
+    /// three, plus `n - 3` further children forked with no capabilities
+    /// (mirrored by [`Oracle::with_tasks`]). The concurrent explorer
+    /// uses one task per worker thread.
+    #[must_use]
+    #[allow(clippy::missing_panics_doc)] // setup panics are test failures
+    pub fn with_tasks(n: usize) -> Self {
+        assert!(n >= 3, "the fixture needs at least the standard 3 tasks");
         let kernel = Kernel::boot(LaminarModule);
         kernel.add_user(UserId(1), "alice");
         let root = kernel.login(UserId(1)).expect("login");
@@ -76,20 +92,34 @@ impl KernelReplay {
         let c1 = root
             .fork(Some(CapSet::from_caps([Capability::plus(t0)])))
             .expect("fork child 1");
-        let c2 = root.fork(Some(CapSet::new())).expect("fork child 2");
-
-        KernelReplay {
-            kernel,
-            tasks: vec![root, c1, c2],
-            pipes: vec![p0, p1, p2],
-            tags: vec![t0, t1],
+        let mut tasks = vec![root, c1];
+        for i in 2..n {
+            tasks.push(tasks[0].fork(Some(CapSet::new())).unwrap_or_else(|e| {
+                panic!("fork child {i}: {e:?}");
+            }));
         }
+
+        KernelReplay { kernel, tasks, pipes: vec![p0, p1, p2], tags: vec![t0, t1] }
     }
 
-    /// Poisons the kernel's big lock from a crashing thread; every
+    /// Poisons one kernel lock shard (by ordinal, wrapping at
+    /// [`laminar_os::SHARD_COUNT`]) from a crashing thread; every
     /// subsequent syscall must recover and behave identically.
-    pub fn poison_big_lock(&self) {
-        self.kernel.poison_big_lock_for_test();
+    pub fn poison_shard(&self, ordinal: usize) {
+        self.kernel.poison_shard_for_test(ordinal);
+    }
+
+    /// The kernel under test (shared with every cloned view).
+    #[must_use]
+    pub fn kernel(&self) -> &Arc<Kernel> {
+        &self.kernel
+    }
+
+    /// The task handles of the fixture, index-aligned with the oracle's
+    /// tasks.
+    #[must_use]
+    pub fn handles(&self) -> &[TaskHandle] {
+        &self.tasks
     }
 
     /// Arms a one-shot syscall failpoint on the kernel under test; the
@@ -172,14 +202,15 @@ impl KernelReplay {
     // ----- op execution ---------------------------------------------------
 
     /// Executes one op at trace position `idx` through the syscall layer.
-    #[allow(clippy::too_many_lines)] // one arm per syscall, kept together
+    #[allow(clippy::missing_panics_doc)] // fixture invariants
     pub fn apply(&mut self, op: &Op, idx: usize) -> Outcome {
+        let nt = self.tasks.len();
         match *op {
             Op::AllocTag { task } => {
                 if self.tags.len() >= TAG_CEILING as usize {
                     return Outcome::Ok; // symmetric no-op guard
                 }
-                match self.tasks[task as usize % TASKS].alloc_tag() {
+                match self.tasks[task as usize % nt].alloc_tag() {
                     Ok(tag) => {
                         self.tags.push(tag);
                         Outcome::Ok
@@ -187,90 +218,11 @@ impl KernelReplay {
                     Err(e) => deny(&e),
                 }
             }
-            Op::SetLabel { task, secrecy, mask } => {
-                let ty = if secrecy { LabelType::Secrecy } else { LabelType::Integrity };
-                let label = self.mask_label(mask);
-                match self.tasks[task as usize % TASKS].set_task_label(ty, label) {
-                    Ok(()) => Outcome::Ok,
-                    Err(e) => deny(&e),
-                }
-            }
-            Op::DropCaps { task, plus_mask, minus_mask } => {
-                let (p, m) = (self.norm_mask(plus_mask), self.norm_mask(minus_mask));
-                let mut caps = Vec::new();
-                for (b, &tag) in self.tags.iter().enumerate() {
-                    if p & (1 << b) != 0 {
-                        caps.push(Capability::plus(tag));
-                    }
-                    if m & (1 << b) != 0 {
-                        caps.push(Capability::minus(tag));
-                    }
-                }
-                match self.tasks[task as usize % TASKS].drop_capabilities(&caps) {
-                    Ok(()) => Outcome::Ok,
-                    Err(e) => deny(&e),
-                }
-            }
-            Op::WriteCap { task, pipe, tag, plus } => {
-                let t = self.norm_tag(tag);
-                let cap = if plus { Capability::plus(t) } else { Capability::minus(t) };
-                let wfd = self.pipes[pipe as usize % PIPES].1;
-                match self.tasks[task as usize % TASKS].write_capability(cap, wfd) {
-                    Ok(()) => Outcome::Ok,
-                    Err(e) => deny(&e),
-                }
-            }
-            Op::ReadCap { task, pipe } => {
-                let rfd = self.pipes[pipe as usize % PIPES].0;
-                match self.tasks[task as usize % TASKS].read_capability(rfd) {
-                    Ok(cap) => {
-                        Outcome::CapMsg(cap.map(|c| {
-                            (self.tag_model(c.tag()), c.kind() == CapKind::Plus)
-                        }))
-                    }
-                    Err(e) => deny(&e),
-                }
-            }
-            Op::PipeWrite { task, pipe, len } => {
-                let wfd = self.pipes[pipe as usize % PIPES].1;
-                let data = payload(idx, len);
-                match self.tasks[task as usize % TASKS].write(wfd, &data) {
-                    Ok(_) => Outcome::Ok,
-                    Err(e) => deny(&e),
-                }
-            }
-            Op::PipeRead { task, pipe, max } => {
-                let rfd = self.pipes[pipe as usize % PIPES].0;
-                match self.tasks[task as usize % TASKS].read(rfd, max as usize) {
-                    Ok(data) => Outcome::Bytes(data),
-                    Err(e) => deny(&e),
-                }
-            }
-            Op::CreateFile { task, dir, slot, s_mask, i_mask } => {
-                let (d, slot) = (dir as usize % DIRS, slot % FILE_SLOTS);
-                let path = Self::file_path(d, slot);
-                let pair = self.mask_pair(s_mask, i_mask);
-                let t = &self.tasks[task as usize % TASKS];
-                match t.create_file_labeled(&path, pair) {
-                    Ok(fd) => {
-                        t.close(fd).ok();
-                        Outcome::Ok
-                    }
-                    Err(e) => deny(&e),
-                }
-            }
-            Op::MkdirLabeled { task, dir, s_mask, i_mask } => {
-                let d = 4 + dir as usize % 2;
-                let pair = self.mask_pair(s_mask, i_mask);
-                let t = &self.tasks[task as usize % TASKS];
-                match t.mkdir_labeled(Self::dir_path(d), pair) {
-                    Ok(()) => Outcome::Ok,
-                    Err(e) => deny(&e),
-                }
-            }
+            // The single-threaded explorer exercises the fd machinery:
+            // file I/O goes open → read/write → close.
             Op::WriteFile { task, dir, slot, len } => {
                 let (d, slot) = (dir as usize % DIRS, slot % FILE_SLOTS);
-                let t = &self.tasks[task as usize % TASKS];
+                let t = &self.tasks[task as usize % nt];
                 let fd = match t.open(&Self::file_path(d, slot), OpenMode::Write) {
                     Ok(fd) => fd,
                     Err(e) => return deny(&e),
@@ -284,7 +236,7 @@ impl KernelReplay {
             }
             Op::ReadFile { task, dir, slot } => {
                 let (d, slot) = (dir as usize % DIRS, slot % FILE_SLOTS);
-                let t = &self.tasks[task as usize % TASKS];
+                let t = &self.tasks[task as usize % nt];
                 let fd = match t.open(&Self::file_path(d, slot), OpenMode::Read) {
                     Ok(fd) => fd,
                     Err(e) => return deny(&e),
@@ -296,57 +248,10 @@ impl KernelReplay {
                     Err(e) => deny(&e),
                 }
             }
-            Op::GetLabels { task, dir, slot } => {
-                let (d, slot) = (dir as usize % DIRS, slot % FILE_SLOTS);
-                let t = &self.tasks[task as usize % TASKS];
-                match t.get_labels(&Self::file_path(d, slot)) {
-                    Ok(pair) => Outcome::Labels(self.pair_model(&pair)),
-                    Err(e) => deny(&e),
-                }
-            }
-            Op::Unlink { task, dir, slot } => {
-                let (d, slot) = (dir as usize % DIRS, slot % FILE_SLOTS);
-                match self.tasks[task as usize % TASKS].unlink(&Self::file_path(d, slot))
-                {
-                    Ok(()) => Outcome::Ok,
-                    Err(e) => deny(&e),
-                }
-            }
-            Op::Rmdir { task, dir } => {
-                let d = 2 + dir as usize % 4;
-                match self.tasks[task as usize % TASKS].unlink(Self::dir_path(d)) {
-                    Ok(()) => Outcome::Ok,
-                    Err(e) => deny(&e),
-                }
-            }
-            Op::Readdir { task, dir } => {
-                let d = dir as usize % DIRS;
-                match self.tasks[task as usize % TASKS].readdir(Self::dir_path(d)) {
-                    Ok(mut names) => {
-                        names.sort();
-                        Outcome::Names(names)
-                    }
-                    Err(e) => deny(&e),
-                }
-            }
-            Op::Kill { task, target, sig } => {
-                let to = self.tasks[target as usize % TASKS].id();
-                match self.tasks[task as usize % TASKS].kill(to, Signal(i32::from(sig))) {
-                    Ok(()) => Outcome::Ok,
-                    Err(e) => deny(&e),
-                }
-            }
-            Op::NextSignal { task } => {
-                match self.tasks[task as usize % TASKS].next_signal() {
-                    Ok(sig) => Outcome::Sig(sig.map(|s| s.0 as u8)),
-                    Err(e) => deny(&e),
-                }
-            }
             Op::VmBarrier { task, write, s_mask, i_mask } => {
                 let obj = self.mask_pair(s_mask, i_mask);
-                let thread = self.tasks[task as usize % TASKS]
-                    .current_labels()
-                    .expect("task labels");
+                let thread =
+                    self.tasks[task as usize % nt].current_labels().expect("task labels");
                 let r = if write {
                     laminar_vm::conformance::barrier_write_check(&thread, &obj)
                 } else {
@@ -358,7 +263,7 @@ impl KernelReplay {
                 }
             }
             Op::RegionEnter { task, s_mask, i_mask, plus_mask, minus_mask } => {
-                let t = &self.tasks[task as usize % TASKS];
+                let t = &self.tasks[task as usize % nt];
                 let labels = t.current_labels().expect("task labels");
                 let caps = t.current_caps().expect("task caps");
                 let mut params = laminar::RegionParams::new()
@@ -378,7 +283,180 @@ impl KernelReplay {
                     Err(_) => Outcome::Denied(DenyKind::Permission),
                 }
             }
+            _ => self.apply_concurrent(op, idx).0,
         }
+    }
+
+    /// Executes one op of the *concurrent* vocabulary — every op is
+    /// exactly one transactional syscall, so the kernel's commit ticket
+    /// for that syscall is the op's position in the witnessed
+    /// linearization. Returns the outcome and that commit sequence
+    /// number (from [`laminar_os::last_syscall_seq`] on this thread).
+    ///
+    /// Multi-syscall ops ([`Op::AllocTag`], fd-based file I/O) and pure
+    /// in-process checks ([`Op::VmBarrier`], [`Op::RegionEnter`]) have
+    /// no single commit point and are not in the vocabulary.
+    ///
+    /// # Panics
+    /// On an op outside the concurrent vocabulary.
+    #[allow(clippy::too_many_lines)] // one arm per syscall, kept together
+    pub fn apply_concurrent(&self, op: &Op, idx: usize) -> (Outcome, u64) {
+        let nt = self.tasks.len();
+        let out = match *op {
+            Op::SetLabel { task, secrecy, mask } => {
+                let ty = if secrecy { LabelType::Secrecy } else { LabelType::Integrity };
+                let label = self.mask_label(mask);
+                match self.tasks[task as usize % nt].set_task_label(ty, label) {
+                    Ok(()) => Outcome::Ok,
+                    Err(e) => deny(&e),
+                }
+            }
+            Op::DropCaps { task, plus_mask, minus_mask } => {
+                let (p, m) = (self.norm_mask(plus_mask), self.norm_mask(minus_mask));
+                let mut caps = Vec::new();
+                for (b, &tag) in self.tags.iter().enumerate() {
+                    if p & (1 << b) != 0 {
+                        caps.push(Capability::plus(tag));
+                    }
+                    if m & (1 << b) != 0 {
+                        caps.push(Capability::minus(tag));
+                    }
+                }
+                match self.tasks[task as usize % nt].drop_capabilities(&caps) {
+                    Ok(()) => Outcome::Ok,
+                    Err(e) => deny(&e),
+                }
+            }
+            Op::WriteCap { task, pipe, tag, plus } => {
+                let t = self.norm_tag(tag);
+                let cap = if plus { Capability::plus(t) } else { Capability::minus(t) };
+                let wfd = self.pipes[pipe as usize % PIPES].1;
+                match self.tasks[task as usize % nt].write_capability(cap, wfd) {
+                    Ok(()) => Outcome::Ok,
+                    Err(e) => deny(&e),
+                }
+            }
+            Op::ReadCap { task, pipe } => {
+                let rfd = self.pipes[pipe as usize % PIPES].0;
+                match self.tasks[task as usize % nt].read_capability(rfd) {
+                    Ok(cap) => {
+                        Outcome::CapMsg(cap.map(|c| {
+                            (self.tag_model(c.tag()), c.kind() == CapKind::Plus)
+                        }))
+                    }
+                    Err(e) => deny(&e),
+                }
+            }
+            Op::PipeWrite { task, pipe, len } => {
+                let wfd = self.pipes[pipe as usize % PIPES].1;
+                let data = payload(idx, len);
+                match self.tasks[task as usize % nt].write(wfd, &data) {
+                    Ok(_) => Outcome::Ok,
+                    Err(e) => deny(&e),
+                }
+            }
+            Op::PipeRead { task, pipe, max } => {
+                let rfd = self.pipes[pipe as usize % PIPES].0;
+                match self.tasks[task as usize % nt].read(rfd, max as usize) {
+                    Ok(data) => Outcome::Bytes(data),
+                    Err(e) => deny(&e),
+                }
+            }
+            Op::CreateFile { task, dir, slot, s_mask, i_mask } => {
+                let (d, slot) = (dir as usize % DIRS, slot % FILE_SLOTS);
+                let path = Self::file_path(d, slot);
+                let pair = self.mask_pair(s_mask, i_mask);
+                let t = &self.tasks[task as usize % nt];
+                match t.create_file_labeled(&path, pair) {
+                    Ok(fd) => {
+                        // The create is the decisive commit; take its
+                        // ticket before the trailing close bumps it.
+                        let seq = laminar_os::last_syscall_seq();
+                        t.close(fd).ok();
+                        return (Outcome::Ok, seq);
+                    }
+                    Err(e) => deny(&e),
+                }
+            }
+            Op::MkdirLabeled { task, dir, s_mask, i_mask } => {
+                let d = 4 + dir as usize % 2;
+                let pair = self.mask_pair(s_mask, i_mask);
+                let t = &self.tasks[task as usize % nt];
+                match t.mkdir_labeled(Self::dir_path(d), pair) {
+                    Ok(()) => Outcome::Ok,
+                    Err(e) => deny(&e),
+                }
+            }
+            // Concurrent file I/O uses the one-shot path syscalls: the
+            // whole check-and-copy is one transaction, one commit point.
+            Op::WriteFile { task, dir, slot, len } => {
+                let (d, slot) = (dir as usize % DIRS, slot % FILE_SLOTS);
+                let path = Self::file_path(d, slot);
+                match self.tasks[task as usize % nt]
+                    .write_file_at(&path, &payload(idx, len))
+                {
+                    Ok(_) => Outcome::Ok,
+                    Err(e) => deny(&e),
+                }
+            }
+            Op::ReadFile { task, dir, slot } => {
+                let (d, slot) = (dir as usize % DIRS, slot % FILE_SLOTS);
+                let path = Self::file_path(d, slot);
+                match self.tasks[task as usize % nt].read_file_at(&path, 64) {
+                    Ok(data) => Outcome::Bytes(data),
+                    Err(e) => deny(&e),
+                }
+            }
+            Op::GetLabels { task, dir, slot } => {
+                let (d, slot) = (dir as usize % DIRS, slot % FILE_SLOTS);
+                let t = &self.tasks[task as usize % nt];
+                match t.get_labels(&Self::file_path(d, slot)) {
+                    Ok(pair) => Outcome::Labels(self.pair_model(&pair)),
+                    Err(e) => deny(&e),
+                }
+            }
+            Op::Unlink { task, dir, slot } => {
+                let (d, slot) = (dir as usize % DIRS, slot % FILE_SLOTS);
+                match self.tasks[task as usize % nt].unlink(&Self::file_path(d, slot)) {
+                    Ok(()) => Outcome::Ok,
+                    Err(e) => deny(&e),
+                }
+            }
+            Op::Rmdir { task, dir } => {
+                let d = 2 + dir as usize % 4;
+                match self.tasks[task as usize % nt].unlink(Self::dir_path(d)) {
+                    Ok(()) => Outcome::Ok,
+                    Err(e) => deny(&e),
+                }
+            }
+            Op::Readdir { task, dir } => {
+                let d = dir as usize % DIRS;
+                match self.tasks[task as usize % nt].readdir(Self::dir_path(d)) {
+                    Ok(mut names) => {
+                        names.sort();
+                        Outcome::Names(names)
+                    }
+                    Err(e) => deny(&e),
+                }
+            }
+            Op::Kill { task, target, sig } => {
+                let to = self.tasks[target as usize % nt].id();
+                match self.tasks[task as usize % nt].kill(to, Signal(i32::from(sig))) {
+                    Ok(()) => Outcome::Ok,
+                    Err(e) => deny(&e),
+                }
+            }
+            Op::NextSignal { task } => {
+                match self.tasks[task as usize % nt].next_signal() {
+                    Ok(sig) => Outcome::Sig(sig.map(|s| s.0 as u8)),
+                    Err(e) => deny(&e),
+                }
+            }
+            Op::AllocTag { .. } | Op::VmBarrier { .. } | Op::RegionEnter { .. } => {
+                panic!("op outside the concurrent vocabulary: {op:?}")
+            }
+        };
+        (out, laminar_os::last_syscall_seq())
     }
 
     // ----- state diff -----------------------------------------------------

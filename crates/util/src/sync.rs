@@ -160,6 +160,65 @@ impl<T> From<T> for RwLock<T> {
     }
 }
 
+/// Runtime lock-order lint.
+///
+/// Code that participates in a ranked locking discipline calls
+/// [`lock_order::acquire`] with the lock's numeric rank immediately
+/// after taking the lock and [`lock_order::release`] when the guard
+/// drops. Ranks held by one thread must be strictly ascending; any
+/// out-of-order (or same-rank re-entrant) acquisition panics at the
+/// acquiring site, turning a potential ABBA deadlock into an immediate,
+/// attributable test failure.
+pub mod lock_order {
+    use std::cell::RefCell;
+
+    thread_local! {
+        /// Ranks currently held by this thread. Pushes are validated to
+        /// be strictly ascending, so the vector stays sorted and
+        /// `last()` is always the maximum held rank, even after
+        /// out-of-LIFO-order releases remove interior entries.
+        static HELD: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Records that the current thread acquired a lock of rank `rank`.
+    ///
+    /// # Panics
+    /// Panics if the thread already holds a lock whose rank is greater
+    /// than or equal to `rank` — a violation of the total lock order.
+    pub fn acquire(rank: u32) {
+        HELD.with(|h| {
+            let mut h = h.borrow_mut();
+            if let Some(&top) = h.last() {
+                assert!(
+                    rank > top,
+                    "lock-order violation: acquiring rank {rank} while \
+                     holding rank {top} (locks must be taken in strictly \
+                     ascending rank order)"
+                );
+            }
+            h.push(rank);
+        });
+    }
+
+    /// Records that the current thread released a lock of rank `rank`.
+    /// Releasing a rank not held is a no-op (robust against unwinds
+    /// that already cleared the entry).
+    pub fn release(rank: u32) {
+        HELD.with(|h| {
+            let mut h = h.borrow_mut();
+            if let Some(pos) = h.iter().rposition(|&r| r == rank) {
+                h.remove(pos);
+            }
+        });
+    }
+
+    /// Number of ranked locks the current thread holds. Test aid.
+    #[must_use]
+    pub fn held_count() -> usize {
+        HELD.with(|h| h.borrow().len())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,5 +286,40 @@ mod tests {
         assert!(m.try_lock().is_none());
         drop(g);
         assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn lock_order_allows_ascending_and_interior_release() {
+        lock_order::acquire(1);
+        lock_order::acquire(5);
+        lock_order::acquire(9);
+        assert_eq!(lock_order::held_count(), 3);
+        lock_order::release(5); // out-of-LIFO-order release is fine
+        lock_order::acquire(12); // still above the max held (9)
+        lock_order::release(12);
+        lock_order::release(9);
+        lock_order::release(1);
+        assert_eq!(lock_order::held_count(), 0);
+    }
+
+    #[test]
+    fn lock_order_panics_on_descending_acquisition() {
+        lock_order::acquire(5);
+        let r = std::panic::catch_unwind(|| lock_order::acquire(3));
+        lock_order::release(5);
+        let err = r.expect_err("descending acquisition must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("lock-order violation"), "{msg}");
+        // the failed acquisition must not have been recorded
+        assert_eq!(lock_order::held_count(), 0);
+    }
+
+    #[test]
+    fn lock_order_panics_on_same_rank_reentry() {
+        lock_order::acquire(7);
+        let r = std::panic::catch_unwind(|| lock_order::acquire(7));
+        lock_order::release(7);
+        assert!(r.is_err(), "same-rank re-entry must panic");
+        assert_eq!(lock_order::held_count(), 0);
     }
 }
