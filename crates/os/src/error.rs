@@ -59,6 +59,34 @@ pub enum OsError {
     Retry(u16),
 }
 
+impl OsError {
+    /// A short static name for the audit trail's `denied` field (stable
+    /// across payload details, never allocates).
+    #[must_use]
+    pub fn audit_name(&self) -> &'static str {
+        match self {
+            OsError::NotFound => "not_found",
+            OsError::Exists => "exists",
+            OsError::NotADirectory => "not_a_directory",
+            OsError::IsADirectory => "is_a_directory",
+            OsError::BadFd => "bad_fd",
+            OsError::InvalidArgument(_) => "invalid_argument",
+            OsError::FlowDenied(_) => "flow",
+            OsError::LabelChangeDenied(_) => "label_change",
+            OsError::PermissionDenied(_) => "permission",
+            OsError::NoSuchTask => "no_such_task",
+            OsError::WouldBlock => "would_block",
+            OsError::Fault => "fault",
+            OsError::NotEmpty => "not_empty",
+            OsError::Unsupported(_) => "unsupported",
+            OsError::SymlinkLoop => "symlink_loop",
+            OsError::QuotaExceeded(_) => "quota",
+            OsError::Internal => "internal",
+            OsError::Retry(_) => "retry",
+        }
+    }
+}
+
 impl fmt::Display for OsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

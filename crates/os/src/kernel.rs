@@ -321,8 +321,14 @@ impl Kernel {
     pub(crate) fn syscall_on<T>(
         &self,
         tid: TaskId,
+        name: &'static str,
         mut f: impl FnMut(&mut Txn<'_>) -> OsResult<T>,
     ) -> OsResult<T> {
+        // Audit span: `None` (one atomic load) while tracing is
+        // disabled. Events the body emits are staged on the span and
+        // reach the ring only on a final outcome; footprint restarts
+        // discard the attempt's stage so decisions record exactly once.
+        let span = laminar_obs::syscall_begin(name);
         // Big-lock emulation mode for the bench baseline: one global
         // mutex spans the entire dispatch, serialising all syscalls.
         let _serial = if self.serial_on.load(Ordering::Relaxed) {
@@ -350,19 +356,28 @@ impl Kernel {
             match outcome {
                 Ok(Ok(v)) => {
                     txn.flush_hooks();
-                    self.commit_ticket(tid);
+                    let ticket = self.commit_ticket(tid);
                     drop(txn);
+                    if let Some(span) = span {
+                        span.commit(ticket, None);
+                    }
                     return Ok(v);
                 }
                 Ok(Err(OsError::Retry(k))) => {
                     txn.rollback();
+                    if let Some(span) = &span {
+                        span.retry();
+                    }
                     if attempts > SHARD_COUNT + 8 {
                         // Should be unreachable: the footprint only grows
                         // and there are SHARD_COUNT shards. Fail closed.
                         txn.flush_hooks();
-                        self.commit_ticket(tid);
+                        let ticket = self.commit_ticket(tid);
                         drop(txn);
                         crate::stats::note_syscall_rolled_back();
+                        if let Some(span) = span {
+                            span.rollback(ticket);
+                        }
                         return Err(OsError::Internal);
                     }
                     drop(txn);
@@ -373,16 +388,27 @@ impl Kernel {
                 Ok(Err(e)) => {
                     txn.rollback();
                     txn.flush_hooks();
-                    self.commit_ticket(tid);
+                    let ticket = self.commit_ticket(tid);
                     drop(txn);
+                    // A typed denial is a final, visible outcome: its
+                    // staged decision events (the deny verdicts) flush
+                    // like a commit.
+                    if let Some(span) = span {
+                        span.commit(ticket, Some(e.audit_name()));
+                    }
                     return Err(e);
                 }
                 Err(_panic) => {
                     txn.rollback();
                     txn.flush_hooks();
-                    self.commit_ticket(tid);
+                    let ticket = self.commit_ticket(tid);
                     drop(txn);
                     crate::stats::note_syscall_rolled_back();
+                    // The body's effects were undone; its staged
+                    // decisions are discarded with them.
+                    if let Some(span) = span {
+                        span.rollback(ticket);
+                    }
                     return Err(OsError::Internal);
                 }
             }
@@ -391,12 +417,31 @@ impl Kernel {
 
     /// Takes the next commit ticket (while the caller still holds its
     /// shard locks) and records it in the commit log when enabled.
-    fn commit_ticket(&self, tid: TaskId) {
+    /// Returns the ticket so the audit trail can correlate with the
+    /// linearization witness.
+    fn commit_ticket(&self, tid: TaskId) -> u64 {
         let seq = self.commit_seq.fetch_add(1, Ordering::SeqCst) + 1;
         LAST_SEQ.with(|c| c.set(seq));
         if self.commit_log_on.load(Ordering::Relaxed) {
             self.commit_log.lock().push(CommitRecord { seq, task: tid });
         }
+        seq
+    }
+
+    /// Snapshots the trusted audit log (all threads' rings, merged in
+    /// event order). **Trusted API**: this lives on [`Kernel`], not
+    /// [`TaskHandle`](crate::TaskHandle) — no syscall exposes audit
+    /// data, because a subject that could see its own silent drops would
+    /// have exactly the covert channel §5.2 closes.
+    #[must_use]
+    pub fn audit_snapshot(&self) -> laminar_obs::AuditLog {
+        laminar_obs::snapshot()
+    }
+
+    /// Enables or disables the decision trace process-wide (disabled by
+    /// default; disabled emit points cost one atomic load).
+    pub fn set_audit_enabled(&self, on: bool) {
+        laminar_obs::set_enabled(on);
     }
 
     /// Enables (clearing any previous contents) or disables the

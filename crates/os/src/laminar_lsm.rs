@@ -27,13 +27,42 @@ use laminar_difc::SecPair;
 #[derive(Debug, Default, Clone, Copy)]
 pub struct LaminarModule;
 
+/// Stages an OS-layer `FlowCheck` audit event for a **denied** hook
+/// check (no-op while tracing is disabled). Allowed flows are not logged
+/// here: the difc layer records each verdict when it is first computed,
+/// and a dispatch that allows everything it checks is decision-free (it
+/// leaves no records at all) — re-logging every per-hook allow would put
+/// an emit on each path component of every traversal. Denials are the
+/// slow path and carry the subject/object detail the typed error cannot.
+fn trace_check(op: &'static str, subject: &SecPair, object: &SecPair, allowed: bool) {
+    if allowed || !laminar_obs::enabled() {
+        return;
+    }
+    laminar_obs::emit(laminar_obs::Event::FlowCheck {
+        layer: laminar_obs::Layer::Os,
+        op,
+        subject: subject.id().as_u32(),
+        object: object.id().as_u32(),
+        verdict: if allowed {
+            laminar_obs::Verdict::Allow
+        } else {
+            laminar_obs::Verdict::Deny
+        },
+        cache_hit: false,
+    });
+}
+
 impl LaminarModule {
     fn check_read(task: &TaskSec, obj: &SecPair) -> OsResult<()> {
-        obj.can_flow_to_cached(&task.labels).map_err(OsError::from)
+        let r = obj.can_flow_to_cached(&task.labels).map_err(OsError::from);
+        trace_check("read", &task.labels, obj, r.is_ok());
+        r
     }
 
     fn check_write(task: &TaskSec, obj: &SecPair) -> OsResult<()> {
-        task.labels.can_flow_to_cached(obj).map_err(OsError::from)
+        let r = task.labels.can_flow_to_cached(obj).map_err(OsError::from);
+        trace_check("write", &task.labels, obj, r.is_ok());
+        r
     }
 
     fn check_mask(task: &TaskSec, obj: &SecPair, mask: Access) -> OsResult<()> {
@@ -139,7 +168,9 @@ impl SecurityModule for LaminarModule {
     /// silently dropped (a visible error would notify the sender of the
     /// target's labels — a channel).
     fn task_kill(&self, sender: &TaskSec, target: &TaskSec) -> DeliveryVerdict {
-        if sender.labels.flows_to_cached(&target.labels) {
+        let ok = sender.labels.flows_to_cached(&target.labels);
+        trace_check("kill", &sender.labels, &target.labels, ok);
+        if ok {
             DeliveryVerdict::Deliver
         } else {
             DeliveryVerdict::SilentDrop
@@ -155,7 +186,9 @@ impl SecurityModule for LaminarModule {
     }
 
     fn pipe_write(&self, task: &TaskSec, pipe: &SecPair) -> DeliveryVerdict {
-        if task.labels.flows_to_cached(pipe) {
+        let ok = task.labels.flows_to_cached(pipe);
+        trace_check("pipe_write", &task.labels, pipe, ok);
+        if ok {
             DeliveryVerdict::Deliver
         } else {
             DeliveryVerdict::SilentDrop

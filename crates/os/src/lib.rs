@@ -71,4 +71,4 @@ pub use task::{ProcessId, Signal, TaskId, TaskSec, UserId, VmArea};
 pub use txn::Quotas;
 pub use vfs::file::{Fd, OpenMode, PipeEnd, SocketEnd};
 pub use vfs::inode::{InodeId, Metadata, Xattrs};
-pub use vfs::pipe::PIPE_CAPACITY;
+pub use vfs::pipe::{PIPE_CAPACITY, PIPE_MSG_LIMIT};

@@ -29,6 +29,12 @@ use laminar_difc::{
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+/// Stages a trusted `SilentDrop` audit event. The subject still sees
+/// full success — only the kernel-side log records the drop (§5.2).
+fn obs_drop(channel: laminar_obs::DropChannel) {
+    laminar_obs::emit(laminar_obs::Event::SilentDrop { channel });
+}
+
 impl TaskHandle {
     // ----- labels & capabilities (Fig. 3) --------------------------------
 
@@ -39,7 +45,7 @@ impl TaskHandle {
     /// Fails if the task has exited; [`OsError::QuotaExceeded`] once the
     /// per-user tag quota is spent.
     pub fn alloc_tag(&self) -> OsResult<Tag> {
-        self.kernel.syscall_on(self.tid, |st| {
+        self.kernel.syscall_on(self.tid, "alloc_tag", |st| {
             let user = st.task_alive(self.tid)?.user;
             st.mint_tag(user)?;
             // The allocator lives outside the journal: a tag id minted by
@@ -60,7 +66,7 @@ impl TaskHandle {
     /// [`OsError::LabelChangeDenied`] if a capability is missing;
     /// [`OsError::PermissionDenied`] for the multithreading restriction.
     pub fn set_task_label(&self, ty: LabelType, new: Label) -> OsResult<()> {
-        self.kernel.syscall_on(self.tid, |st| {
+        self.kernel.syscall_on(self.tid, "set_task_label", |st| {
             let sec = st.task_sec(self.tid)?;
             let new_pair = sec.labels.with_label(ty, new.clone());
             if new_pair == sec.labels {
@@ -71,6 +77,25 @@ impl TaskHandle {
             check_pair_change(&sec.labels, &new_pair, &sec.caps)?;
             st.count_hook();
             self.kernel.module.task_set_label(&sec, &new_pair)?;
+            // Audit the (now fully approved) transition. Declassify =
+            // the release direction: secrecy shrank or integrity grew.
+            if laminar_obs::enabled() {
+                let (ty, declassify) = match ty {
+                    LabelType::Secrecy => {
+                        ("secrecy", !sec.labels.secrecy().is_subset_of(&new))
+                    }
+                    LabelType::Integrity => {
+                        ("integrity", !new.is_subset_of(sec.labels.integrity()))
+                    }
+                };
+                laminar_obs::emit(laminar_obs::Event::LabelChange {
+                    task: self.tid.0,
+                    ty,
+                    before: sec.labels.id().as_u32(),
+                    after: new_pair.id().as_u32(),
+                    declassify,
+                });
+            }
             let pid = st.task(self.tid)?.process;
             let (trusted_vm, ptasks) = {
                 let proc = st.proc(pid)?;
@@ -119,7 +144,7 @@ impl TaskHandle {
     /// [`OsError::PermissionDenied`] without the `tcb` tag or across
     /// address spaces.
     pub fn drop_label_tcb(&self, target: TaskId) -> OsResult<()> {
-        self.kernel.syscall_on(self.tid, |st| {
+        self.kernel.syscall_on(self.tid, "drop_label_tcb", |st| {
             let sec = st.task_sec(self.tid)?;
             if !sec.labels.integrity().contains(self.kernel.tcb_tag()) {
                 return Err(OsError::PermissionDenied(
@@ -158,7 +183,7 @@ impl TaskHandle {
     /// [`OsError::PermissionDenied`] without the `tcb` tag or across
     /// address spaces.
     pub fn set_task_labels_tcb(&self, target: TaskId, labels: SecPair) -> OsResult<()> {
-        self.kernel.syscall_on(self.tid, |st| {
+        self.kernel.syscall_on(self.tid, "set_task_labels_tcb", |st| {
             let sec = st.task_sec(self.tid)?;
             if !sec.labels.integrity().contains(self.kernel.tcb_tag()) {
                 return Err(OsError::PermissionDenied(
@@ -185,7 +210,7 @@ impl TaskHandle {
     /// # Errors
     /// Fails if the task has exited.
     pub fn drop_capabilities(&self, caps: &[Capability]) -> OsResult<()> {
-        self.kernel.syscall_on(self.tid, |st| {
+        self.kernel.syscall_on(self.tid, "drop_capabilities", |st| {
             st.task_alive(self.tid)?;
             let t = st.task_mut(self.tid)?;
             for &c in caps {
@@ -203,7 +228,7 @@ impl TaskHandle {
     /// [`OsError::PermissionDenied`] without the `tcb` tag or across
     /// address spaces.
     pub fn grant_capabilities_tcb(&self, target: TaskId, caps: &CapSet) -> OsResult<()> {
-        self.kernel.syscall_on(self.tid, |st| {
+        self.kernel.syscall_on(self.tid, "grant_capabilities_tcb", |st| {
             let sec = st.task_sec(self.tid)?;
             if !sec.labels.integrity().contains(self.kernel.tcb_tag()) {
                 return Err(OsError::PermissionDenied(
@@ -260,7 +285,7 @@ impl TaskHandle {
     /// [`OsError::BadFd`] if `fd` is not a writable pipe end;
     /// [`OsError::PermissionDenied`] if the sender lacks the capability.
     pub fn write_capability(&self, cap: Capability, fd: Fd) -> OsResult<()> {
-        self.kernel.syscall_on(self.tid, |st| {
+        self.kernel.syscall_on(self.tid, "write_capability", |st| {
             let sec = st.task_sec(self.tid)?;
             if !sec.caps.has(cap) {
                 return Err(OsError::PermissionDenied(
@@ -279,11 +304,17 @@ impl TaskHandle {
                     if let InodeKind::Pipe { buffer } =
                         &mut st.inode_mut(file.inode)?.kind
                     {
-                        let _ = buffer.push_cap(cap);
+                        if !buffer.push_cap(cap) {
+                            // Queue ceiling reached ⇒ silent drop.
+                            obs_drop(laminar_obs::DropChannel::Cap);
+                        }
                     }
                     Ok(())
                 }
-                DeliveryVerdict::SilentDrop => Ok(()),
+                DeliveryVerdict::SilentDrop => {
+                    obs_drop(laminar_obs::DropChannel::Cap);
+                    Ok(())
+                }
             }
         })
     }
@@ -295,7 +326,7 @@ impl TaskHandle {
     /// [`OsError::BadFd`] if `fd` is not a readable pipe end; a flow
     /// error if the pipe's labels may not flow to the receiver.
     pub fn read_capability(&self, fd: Fd) -> OsResult<Option<Capability>> {
-        self.kernel.syscall_on(self.tid, |st| {
+        self.kernel.syscall_on(self.tid, "read_capability", |st| {
             let sec = st.task_sec(self.tid)?;
             let pid = st.task(self.tid)?.process;
             let file = st.proc(pid)?.fds.get(fd).cloned().ok_or(OsError::BadFd)?;
@@ -322,7 +353,7 @@ impl TaskHandle {
     /// # Errors
     /// Fails if the task has exited.
     pub fn save_persistent_caps(&self) -> OsResult<()> {
-        self.kernel.syscall_on(self.tid, |st| {
+        self.kernel.syscall_on(self.tid, "save_persistent_caps", |st| {
             let t = st.task_alive(self.tid)?;
             let user = t.user;
             let caps = (*t.security.caps).clone();
@@ -373,7 +404,7 @@ impl TaskHandle {
     }
 
     fn create_inode(&self, path: &str, labels: SecPair, dir: bool) -> OsResult<Fd> {
-        self.kernel.syscall_on(self.tid, |st| {
+        self.kernel.syscall_on(self.tid, "create_inode", |st| {
             let sec = st.task_sec(self.tid)?;
             let r = self.kernel.resolve(st, self.tid, path)?;
             if r.inode.is_some() {
@@ -419,7 +450,7 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::NotFound`]; [`OsError::IsADirectory`]; hook vetoes.
     pub fn open(&self, path: &str, mode: OpenMode) -> OsResult<Fd> {
-        self.kernel.syscall_on(self.tid, |st| {
+        self.kernel.syscall_on(self.tid, "open", |st| {
             let sec = st.task_sec(self.tid)?;
             let r = self.kernel.resolve(st, self.tid, path)?;
             let ino = r.inode.ok_or(OsError::NotFound)?;
@@ -451,7 +482,7 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::BadFd`] if not open.
     pub fn close(&self, fd: Fd) -> OsResult<()> {
-        self.kernel.syscall_on(self.tid, |st| {
+        self.kernel.syscall_on(self.tid, "close", |st| {
             let pid = st.task_alive(self.tid)?.process;
             let file = st.proc_mut(pid)?.fds.remove(fd).ok_or(OsError::BadFd)?;
             if let Some(end) = file.pipe_end {
@@ -477,7 +508,7 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::BadFd`]; flow vetoes from `file_permission`.
     pub fn read(&self, fd: Fd, max: usize) -> OsResult<Vec<u8>> {
-        self.kernel.syscall_on(self.tid, |st| {
+        self.kernel.syscall_on(self.tid, "read", |st| {
             let sec = st.task_sec(self.tid)?;
             let pid = st.task(self.tid)?.process;
             let file = st.proc(pid)?.fds.get(fd).cloned().ok_or(OsError::BadFd)?;
@@ -549,7 +580,7 @@ impl TaskHandle {
     /// [`OsError::BadFd`]; flow vetoes from `file_permission` (regular
     /// files only — pipe label failures drop silently).
     pub fn write(&self, fd: Fd, data: &[u8]) -> OsResult<usize> {
-        self.kernel.syscall_on(self.tid, |st| {
+        self.kernel.syscall_on(self.tid, "write", |st| {
             let sec = st.task_sec(self.tid)?;
             let pid = st.task(self.tid)?.process;
             let file = st.proc(pid)?.fds.get(fd).cloned().ok_or(OsError::BadFd)?;
@@ -565,10 +596,15 @@ impl TaskHandle {
                             if let InodeKind::Pipe { buffer } =
                                 &mut st.inode_mut(file.inode)?.kind
                             {
-                                let _ = buffer.push_bytes(data); // full ⇒ silent drop
+                                if !buffer.push_bytes(data) {
+                                    // Full ⇒ silent drop (audited kernel-side).
+                                    obs_drop(laminar_obs::DropChannel::Pipe);
+                                }
                             }
                         }
-                        DeliveryVerdict::SilentDrop => {}
+                        DeliveryVerdict::SilentDrop => {
+                            obs_drop(laminar_obs::DropChannel::Pipe);
+                        }
                     }
                     Ok(data.len())
                 }
@@ -580,21 +616,35 @@ impl TaskHandle {
                             if let (InodeKind::Socket { ab, ba }, Some(end)) =
                                 (&mut st.inode_mut(file.inode)?.kind, file.socket_end)
                             {
-                                let _ = match end {
+                                let queued = match end {
                                     SocketEnd::A => ab.push_bytes(data),
                                     SocketEnd::B => ba.push_bytes(data),
                                 };
+                                if !queued {
+                                    obs_drop(laminar_obs::DropChannel::Socket);
+                                }
                             }
                         }
-                        DeliveryVerdict::SilentDrop => {}
+                        DeliveryVerdict::SilentDrop => {
+                            obs_drop(laminar_obs::DropChannel::Socket);
+                        }
                     }
                     Ok(data.len())
                 }
                 None => {
                     self.kernel.module.file_permission(&sec, &labels, Access::Write)?;
+                    // Checked narrowing: on 32-bit hosts a u64 offset
+                    // past usize::MAX must fail closed (as the size
+                    // quota), not truncate into a small in-bounds write.
+                    let offset = usize::try_from(file.offset).map_err(|_| {
+                        laminar_obs::emit(laminar_obs::Event::QuotaExceeded {
+                            resource: "file size",
+                        });
+                        OsError::QuotaExceeded("file size")
+                    })?;
                     match st.inode_opt(file.inode)?.map(|i| &i.kind) {
                         Some(InodeKind::File { .. }) => {
-                            st.write_file_data(file.inode, file.offset as usize, data)?;
+                            st.write_file_data(file.inode, offset, data)?;
                         }
                         Some(InodeKind::NullDevice) => {}
                         Some(InodeKind::Dir { .. }) => return Err(OsError::IsADirectory),
@@ -622,7 +672,7 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::NotFound`]; [`OsError::IsADirectory`]; flow vetoes.
     pub fn read_file_at(&self, path: &str, max: usize) -> OsResult<Vec<u8>> {
-        self.kernel.syscall_on(self.tid, |st| {
+        self.kernel.syscall_on(self.tid, "read_file_at", |st| {
             let sec = st.task_sec(self.tid)?;
             let r = self.kernel.resolve(st, self.tid, path)?;
             let ino = r.inode.ok_or(OsError::NotFound)?;
@@ -646,7 +696,7 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::NotFound`]; [`OsError::IsADirectory`]; flow vetoes.
     pub fn write_file_at(&self, path: &str, data: &[u8]) -> OsResult<usize> {
-        self.kernel.syscall_on(self.tid, |st| {
+        self.kernel.syscall_on(self.tid, "write_file_at", |st| {
             let sec = st.task_sec(self.tid)?;
             let r = self.kernel.resolve(st, self.tid, path)?;
             let ino = r.inode.ok_or(OsError::NotFound)?;
@@ -654,6 +704,46 @@ impl TaskHandle {
             match st.inode_opt(ino)?.map(|i| &i.kind) {
                 Some(InodeKind::File { .. }) => {
                     st.write_file_data(ino, 0, data)?;
+                    Ok(data.len())
+                }
+                Some(InodeKind::NullDevice) => Ok(data.len()),
+                Some(InodeKind::Dir { .. }) => Err(OsError::IsADirectory),
+                Some(_) => Err(OsError::Unsupported("write_file_at on a special inode")),
+                None => Err(OsError::Internal),
+            }
+        })
+    }
+
+    /// Like [`Self::write_file_at`], but writing at `offset` instead of
+    /// zero — the one-shot (single-transaction, single-commit-ticket)
+    /// form of `open`/`seek`/`write`/`close`, for the concurrent
+    /// conformance regime where an op must be attributable to one
+    /// position in the commit order. Subject to the same file-size quota
+    /// and checked offset arithmetic as `write`.
+    ///
+    /// # Errors
+    /// [`OsError::NotFound`]; [`OsError::QuotaExceeded`] past the
+    /// file-size quota; hook vetoes.
+    pub fn write_file_at_off(
+        &self,
+        path: &str,
+        offset: u64,
+        data: &[u8],
+    ) -> OsResult<usize> {
+        self.kernel.syscall_on(self.tid, "write_file_at_off", |st| {
+            let sec = st.task_sec(self.tid)?;
+            let r = self.kernel.resolve(st, self.tid, path)?;
+            let ino = r.inode.ok_or(OsError::NotFound)?;
+            self.kernel.hook_inode_permission(st, &sec, ino, Access::Write)?;
+            let offset = usize::try_from(offset).map_err(|_| {
+                laminar_obs::emit(laminar_obs::Event::QuotaExceeded {
+                    resource: "file size",
+                });
+                OsError::QuotaExceeded("file size")
+            })?;
+            match st.inode_opt(ino)?.map(|i| &i.kind) {
+                Some(InodeKind::File { .. }) => {
+                    st.write_file_data(ino, offset, data)?;
                     Ok(data.len())
                 }
                 Some(InodeKind::NullDevice) => Ok(data.len()),
@@ -672,7 +762,7 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::NotFound`]; hook vetoes.
     pub fn stat(&self, path: &str) -> OsResult<Metadata> {
-        self.kernel.syscall_on(self.tid, |st| {
+        self.kernel.syscall_on(self.tid, "stat", |st| {
             let sec = st.task_sec(self.tid)?;
             let r = self.kernel.resolve(st, self.tid, path)?;
             let ino = r.inode.ok_or(OsError::NotFound)?;
@@ -697,7 +787,7 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::NotFound`]; hook vetoes.
     pub fn lstat(&self, path: &str) -> OsResult<Metadata> {
-        self.kernel.syscall_on(self.tid, |st| {
+        self.kernel.syscall_on(self.tid, "lstat", |st| {
             let sec = st.task_sec(self.tid)?;
             let r = self.kernel.resolve_nofollow(st, self.tid, path)?;
             let ino = r.inode.ok_or(OsError::NotFound)?;
@@ -725,7 +815,7 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::NotFound`]; traversal vetoes.
     pub fn get_labels(&self, path: &str) -> OsResult<SecPair> {
-        self.kernel.syscall_on(self.tid, |st| {
+        self.kernel.syscall_on(self.tid, "get_labels", |st| {
             let r = self.kernel.resolve(st, self.tid, path)?;
             let ino = r.inode.ok_or(OsError::NotFound)?;
             st.inode_labels(ino)
@@ -739,7 +829,7 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::NotFound`]; [`OsError::NotEmpty`]; hook vetoes.
     pub fn unlink(&self, path: &str) -> OsResult<()> {
-        self.kernel.syscall_on(self.tid, |st| {
+        self.kernel.syscall_on(self.tid, "unlink", |st| {
             let sec = st.task_sec(self.tid)?;
             let r = self.kernel.resolve(st, self.tid, path)?;
             let ino = r.inode.ok_or(OsError::NotFound)?;
@@ -768,7 +858,7 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::NotADirectory`]; hook vetoes.
     pub fn readdir(&self, path: &str) -> OsResult<Vec<String>> {
-        self.kernel.syscall_on(self.tid, |st| {
+        self.kernel.syscall_on(self.tid, "readdir", |st| {
             let sec = st.task_sec(self.tid)?;
             let r = self.kernel.resolve(st, self.tid, path)?;
             let ino = r.inode.ok_or(OsError::NotFound)?;
@@ -786,7 +876,7 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::NotADirectory`]; traversal vetoes.
     pub fn chdir(&self, path: &str) -> OsResult<()> {
-        self.kernel.syscall_on(self.tid, |st| {
+        self.kernel.syscall_on(self.tid, "chdir", |st| {
             let r = self.kernel.resolve(st, self.tid, path)?;
             let ino = r.inode.ok_or(OsError::NotFound)?;
             if !st.inode_opt(ino)?.map(|i| i.kind.is_dir()).unwrap_or(false) {
@@ -808,7 +898,7 @@ impl TaskHandle {
     /// inode/fd exhaustion (the whole call rolls back — no half-made
     /// pipe is left behind).
     pub fn pipe(&self) -> OsResult<(Fd, Fd)> {
-        self.kernel.syscall_on(self.tid, |st| {
+        self.kernel.syscall_on(self.tid, "pipe", |st| {
             let sec = st.task_sec(self.tid)?;
             let capacity = self.kernel.quotas.pipe_capacity;
             let ino = st.alloc_inode(
@@ -848,7 +938,7 @@ impl TaskHandle {
     /// Fails if the task has exited; [`OsError::QuotaExceeded`] on
     /// inode/fd exhaustion (atomic, like [`Self::pipe`]).
     pub fn socketpair(&self) -> OsResult<(Fd, Fd)> {
-        self.kernel.syscall_on(self.tid, |st| {
+        self.kernel.syscall_on(self.tid, "socketpair", |st| {
             let sec = st.task_sec(self.tid)?;
             let capacity = self.kernel.quotas.pipe_capacity;
             let ino = st.alloc_inode(
@@ -893,7 +983,7 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::Exists`]; creation-rule vetoes.
     pub fn symlink(&self, target: &str, linkpath: &str) -> OsResult<()> {
-        self.kernel.syscall_on(self.tid, |st| {
+        self.kernel.syscall_on(self.tid, "symlink", |st| {
             let sec = st.task_sec(self.tid)?;
             let r = self.kernel.resolve(st, self.tid, linkpath)?;
             if r.inode.is_some() {
@@ -921,7 +1011,7 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::InvalidArgument`] if the path is not a symlink.
     pub fn readlink(&self, path: &str) -> OsResult<String> {
-        self.kernel.syscall_on(self.tid, |st| {
+        self.kernel.syscall_on(self.tid, "readlink", |st| {
             let sec = st.task_sec(self.tid)?;
             let r = self.kernel.resolve_nofollow(st, self.tid, path)?;
             let ino = r.inode.ok_or(OsError::NotFound)?;
@@ -939,7 +1029,7 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::BadFd`] for pipes/sockets/devices.
     pub fn seek(&self, fd: Fd, offset: u64) -> OsResult<()> {
-        self.kernel.syscall_on(self.tid, |st| {
+        self.kernel.syscall_on(self.tid, "seek", |st| {
             let pid = st.task_alive(self.tid)?.process;
             let (pipe_end, socket_end) = {
                 let file = st.proc(pid)?.fds.get(fd).ok_or(OsError::BadFd)?;
@@ -1018,7 +1108,7 @@ impl TaskHandle {
     /// [`OsError::PermissionDenied`] if `caps` is not a subset of the
     /// caller's capabilities.
     pub fn fork(&self, caps: Option<CapSet>) -> OsResult<TaskHandle> {
-        let tid = self.kernel.syscall_on(self.tid, |st| {
+        let tid = self.kernel.syscall_on(self.tid, "fork", |st| {
             let sec = st.task_sec(self.tid)?;
             let child_caps = match &caps {
                 Some(c) => {
@@ -1071,7 +1161,7 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::PermissionDenied`] on a capability superset.
     pub fn spawn_thread(&self, caps: Option<CapSet>) -> OsResult<TaskHandle> {
-        let tid = self.kernel.syscall_on(self.tid, |st| {
+        let tid = self.kernel.syscall_on(self.tid, "spawn_thread", |st| {
             let sec = st.task_sec(self.tid)?;
             let thread_caps = match &caps {
                 Some(c) => {
@@ -1107,7 +1197,7 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::NotFound`]; flow vetoes.
     pub fn exec(&self, path: &str) -> OsResult<()> {
-        self.kernel.syscall_on(self.tid, |st| {
+        self.kernel.syscall_on(self.tid, "exec", |st| {
             let sec = st.task_sec(self.tid)?;
             let r = self.kernel.resolve(st, self.tid, path)?;
             let ino = r.inode.ok_or(OsError::NotFound)?;
@@ -1127,7 +1217,7 @@ impl TaskHandle {
     /// # Errors
     /// Fails if already exited.
     pub fn exit(&self) -> OsResult<()> {
-        self.kernel.syscall_on(self.tid, |st| {
+        self.kernel.syscall_on(self.tid, "exit", |st| {
             let pid = st.task_alive(self.tid)?.process;
             // Reap: drop the task entry, and the whole process (with its fd
             // table) once its last task exits, so fork-heavy workloads do
@@ -1170,7 +1260,7 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::NoSuchTask`] only when the target id was never valid.
     pub fn kill(&self, target: TaskId, sig: Signal) -> OsResult<()> {
-        self.kernel.syscall_on(self.tid, |st| {
+        self.kernel.syscall_on(self.tid, "kill", |st| {
             let sender = st.task_sec(self.tid)?;
             let target_sec = st.task_sec(target).map_err(|e| match e {
                 OsError::Retry(k) => OsError::Retry(k),
@@ -1181,6 +1271,8 @@ impl TaskHandle {
                 == DeliveryVerdict::Deliver
             {
                 st.task_mut(target)?.pending_signals.push_back(sig);
+            } else {
+                obs_drop(laminar_obs::DropChannel::Signal);
             }
             Ok(())
         })
@@ -1191,7 +1283,7 @@ impl TaskHandle {
     /// # Errors
     /// Fails if the task has exited.
     pub fn next_signal(&self) -> OsResult<Option<Signal>> {
-        self.kernel.syscall_on(self.tid, |st| {
+        self.kernel.syscall_on(self.tid, "next_signal", |st| {
             st.task_alive(self.tid)?;
             Ok(st.task_mut(self.tid)?.pending_signals.pop_front())
         })
@@ -1234,7 +1326,7 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::BadFd`] for a bad backing fd; hook vetoes.
     pub fn mmap(&self, pages: u64, backing: Option<Fd>) -> OsResult<u64> {
-        self.kernel.syscall_on(self.tid, |st| {
+        self.kernel.syscall_on(self.tid, "mmap", |st| {
             let sec = st.task_sec(self.tid)?;
             let pid = st.task(self.tid)?.process;
             let backing_labels = match backing {
@@ -1260,7 +1352,7 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::Fault`] if no such mapping exists.
     pub fn munmap(&self, start: u64) -> OsResult<()> {
-        self.kernel.syscall_on(self.tid, |st| {
+        self.kernel.syscall_on(self.tid, "munmap", |st| {
             let pid = st.task_alive(self.tid)?.process;
             let p = st.proc_mut(pid)?;
             let before = p.vm_areas.len();
@@ -1277,7 +1369,7 @@ impl TaskHandle {
     /// # Errors
     /// [`OsError::Fault`] if no such mapping exists.
     pub fn mprotect(&self, start: u64, read: bool, write: bool) -> OsResult<()> {
-        self.kernel.syscall_on(self.tid, |st| {
+        self.kernel.syscall_on(self.tid, "mprotect", |st| {
             let pid = st.task_alive(self.tid)?.process;
             let p = st.proc_mut(pid)?;
             let area =

@@ -63,6 +63,11 @@ pub struct Quotas {
     pub pipe_capacity: usize,
     /// Maximum tags a single user may mint via `alloc_tag`.
     pub max_tags_per_user: u64,
+    /// Maximum byte length of a regular file's contents. Bounds the
+    /// allocation a single sparse write (`seek(huge)` + `write`) can
+    /// force: without it, one syscall could `resize` a file buffer to
+    /// gigabytes before any label check could object.
+    pub max_file_size: usize,
 }
 
 impl Default for Quotas {
@@ -72,8 +77,18 @@ impl Default for Quotas {
             max_inodes: 1 << 20,
             pipe_capacity: crate::vfs::pipe::PIPE_CAPACITY,
             max_tags_per_user: 1 << 16,
+            max_file_size: 1 << 26, // 64 MiB
         }
     }
+}
+
+/// Stages a trusted audit event for a quota denial and returns the
+/// typed error. Every `QuotaExceeded` produced by the transaction layer
+/// goes through here so the audit log sees each denial exactly once
+/// (the stage is discarded on footprint restarts).
+fn quota_denied(resource: &'static str) -> OsError {
+    laminar_obs::emit(laminar_obs::Event::QuotaExceeded { resource });
+    OsError::QuotaExceeded(resource)
 }
 
 /// Per-syscall cache of freshly minted ids. Ids come from the kernel's
@@ -504,12 +519,12 @@ impl<'a> Txn<'a> {
     ) -> OsResult<InodeId> {
         #[cfg(feature = "fault-injection")]
         if self.kernel.failpoints.take_quota() {
-            return Err(OsError::QuotaExceeded("injected allocation failure"));
+            return Err(quota_denied("injected allocation failure"));
         }
         if self.kernel.inode_count.load(Ordering::Relaxed) as usize
             >= self.kernel.quotas.max_inodes
         {
-            return Err(OsError::QuotaExceeded("inodes"));
+            return Err(quota_denied("inodes"));
         }
         let id = self.ids.next_inode(self.kernel);
         // Lock (and possibly restart) *before* journalling, so rollback
@@ -528,14 +543,14 @@ impl<'a> Txn<'a> {
     pub(crate) fn fd_insert(&mut self, pid: ProcessId, file: OpenFile) -> OsResult<Fd> {
         #[cfg(feature = "fault-injection")]
         if self.kernel.failpoints.take_quota() {
-            return Err(OsError::QuotaExceeded("injected allocation failure"));
+            return Err(quota_denied("injected allocation failure"));
         }
         let open = match self.proc_opt(pid)? {
             Some(p) => p.fds.len(),
             None => 0,
         };
         if open >= self.kernel.quotas.max_fds_per_process {
-            return Err(OsError::QuotaExceeded("file descriptors"));
+            return Err(quota_denied("file descriptors"));
         }
         Ok(self.proc_mut(pid)?.fds.insert(file))
     }
@@ -565,25 +580,36 @@ impl<'a> Txn<'a> {
     /// Journalled in-place write to a regular file's contents: records
     /// only the overwritten range plus the old length, then applies the
     /// write (extending the file if needed).
+    ///
+    /// The resulting file length is bounded by [`Quotas::max_file_size`]
+    /// and the offset arithmetic is checked: a sparse write past the
+    /// quota (or one whose `offset + len` overflows) is a fail-closed
+    /// [`OsError::QuotaExceeded`] *before* any allocation happens, so a
+    /// single `seek(huge)` + `write` can no longer force a multi-gigabyte
+    /// `resize`.
     pub(crate) fn write_file_data(
         &mut self,
         ino: InodeId,
         offset: usize,
         buf: &[u8],
     ) -> OsResult<()> {
+        let new_end = match offset.checked_add(buf.len()) {
+            Some(end) if end <= self.kernel.quotas.max_file_size => end,
+            _ => return Err(quota_denied("file size")),
+        };
         let undo = {
             let data = match self.inodes_map(ino)?.get_mut(&ino).map(|i| &mut i.kind) {
                 Some(InodeKind::File { data }) => data,
                 _ => return Err(OsError::Internal),
             };
             let old_len = data.len();
-            let end = (offset + buf.len()).min(old_len);
+            let end = new_end.min(old_len);
             let old_bytes =
                 if offset < end { data[offset..end].to_vec() } else { Vec::new() };
-            if offset + buf.len() > data.len() {
-                data.resize(offset + buf.len(), 0);
+            if new_end > data.len() {
+                data.resize(new_end, 0);
             }
-            data[offset..offset + buf.len()].copy_from_slice(buf);
+            data[offset..new_end].copy_from_slice(buf);
             Undo::FileRange { ino, offset, old_len, old_bytes }
         };
         self.journal.push(undo);
@@ -613,11 +639,11 @@ impl<'a> Txn<'a> {
     pub(crate) fn mint_tag(&mut self, user: UserId) -> OsResult<()> {
         #[cfg(feature = "fault-injection")]
         if self.kernel.failpoints.take_quota() {
-            return Err(OsError::QuotaExceeded("injected allocation failure"));
+            return Err(quota_denied("injected allocation failure"));
         }
         let minted = self.registry_map()?.tags_minted.get(&user).copied();
         if minted.unwrap_or(0) >= self.kernel.quotas.max_tags_per_user {
-            return Err(OsError::QuotaExceeded("tags"));
+            return Err(quota_denied("tags"));
         }
         if !self.journal.iter().any(|u| matches!(u, Undo::TagsMinted(w, _) if *w == user))
         {

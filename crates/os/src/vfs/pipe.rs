@@ -17,6 +17,12 @@ use std::collections::VecDeque;
 /// Default capacity of a pipe buffer in bytes (64 KiB, like Linux).
 pub const PIPE_CAPACITY: usize = 64 * 1024;
 
+/// Maximum queued messages (byte chunks + capabilities) per pipe. The
+/// byte budget alone does not bound the queue: capabilities carry no
+/// bytes, and a stream of tiny writes costs a `PipeMsg` allocation each,
+/// so the message count needs its own ceiling.
+pub const PIPE_MSG_LIMIT: usize = 4096;
+
 /// One in-flight message: either bytes or a kernel-mediated capability.
 #[derive(Clone, Debug)]
 pub(crate) enum PipeMsg {
@@ -49,8 +55,17 @@ impl PipeBuffer {
     /// queued, `false` if it was dropped because the buffer is full —
     /// callers must NOT surface the distinction to the writer (silent
     /// drop semantics).
+    ///
+    /// A zero-byte write is a successful no-op: it conveys nothing, so
+    /// queueing an empty message would only let a writer grow the queue
+    /// without ever touching the byte budget.
     pub(crate) fn push_bytes(&mut self, data: &[u8]) -> bool {
-        if self.bytes_queued + data.len() > self.capacity {
+        if data.is_empty() {
+            return true;
+        }
+        if self.bytes_queued + data.len() > self.capacity
+            || self.msgs.len() >= PIPE_MSG_LIMIT
+        {
             return false;
         }
         self.bytes_queued += data.len();
@@ -59,9 +74,10 @@ impl PipeBuffer {
     }
 
     /// Enqueues a capability message (capabilities are small; they bypass
-    /// the byte budget but still drop when an absurd number is queued).
+    /// the byte budget but still drop once [`PIPE_MSG_LIMIT`] messages
+    /// are queued).
     pub(crate) fn push_cap(&mut self, cap: Capability) -> bool {
-        if self.msgs.len() > 4096 {
+        if self.msgs.len() >= PIPE_MSG_LIMIT {
             return false;
         }
         self.msgs.push_back(PipeMsg::Cap(cap));
@@ -175,6 +191,50 @@ mod tests {
         assert_eq!(p.pop_bytes(8), b"");
         assert_eq!(p.pop_cap(), Some(c));
         assert_eq!(p.pop_bytes(8), b"later");
+    }
+
+    /// Regression: zero-byte writes used to enqueue a fresh empty
+    /// `PipeMsg::Bytes` each, growing `msgs` without bound (the byte
+    /// budget never filled). They are now a no-op success.
+    #[test]
+    fn zero_byte_write_is_a_noop_success() {
+        let mut p = PipeBuffer::new(4);
+        for _ in 0..10_000 {
+            assert!(p.push_bytes(b""), "zero-byte write must report success");
+        }
+        assert_eq!(p.msg_count(), 0, "zero-byte writes must not queue messages");
+        assert_eq!(p.queued(), 0);
+        // Even on a full buffer a zero-byte write succeeds (no drop).
+        assert!(p.push_bytes(b"abcd"));
+        assert!(p.push_bytes(b""));
+        assert_eq!(p.pop_bytes(8), b"abcd");
+    }
+
+    /// Regression: the message-count ceiling applies to byte messages
+    /// too — tiny writes can no longer queue unboundedly many chunks
+    /// under a large byte budget.
+    #[test]
+    fn byte_messages_respect_the_message_limit() {
+        let mut p = PipeBuffer::new(PIPE_CAPACITY);
+        for _ in 0..PIPE_MSG_LIMIT {
+            assert!(p.push_bytes(b"x"));
+        }
+        assert!(!p.push_bytes(b"x"), "message {PIPE_MSG_LIMIT} must drop");
+        assert_eq!(p.msg_count(), PIPE_MSG_LIMIT);
+    }
+
+    /// Regression: `push_cap` used `> 4096`, admitting 4097 messages.
+    /// The boundary is now `>=` against the named constant.
+    #[test]
+    fn cap_queue_boundary_is_exact() {
+        let mut p = PipeBuffer::new(8);
+        let c = Capability::plus(Tag::from_raw(3));
+        for i in 0..PIPE_MSG_LIMIT {
+            assert!(p.push_cap(c), "cap {i} should fit");
+        }
+        assert_eq!(p.msg_count(), PIPE_MSG_LIMIT);
+        assert!(!p.push_cap(c), "cap {PIPE_MSG_LIMIT} must drop, not be admitted");
+        assert_eq!(p.msg_count(), PIPE_MSG_LIMIT);
     }
 
     #[test]

@@ -80,7 +80,7 @@ pub fn generate_concurrent_trace(seed: u64, len: usize, tasks: usize) -> Vec<Op>
     let mut ops = Vec::with_capacity(len);
     while ops.len() < len {
         let task = rng.below(tasks as u64) as u8;
-        let op = match rng.below(21) {
+        let op = match rng.below(22) {
             0..=2 => Op::SetLabel { task, secrecy: rng.gen_bool(), mask: mask(&mut rng) },
             3 => {
                 // Sparse masks, as in the single-threaded generator.
@@ -138,6 +138,17 @@ pub fn generate_concurrent_trace(seed: u64, len: usize, tasks: usize) -> Vec<Op>
                 target: rng.below(tasks as u64) as u8,
                 sig: rng.gen_range(1..5) as u8,
             },
+            // One-shot sparse write (`write_file_at_off`): a single
+            // transaction with a single commit ticket, so it is
+            // attributable to one position in the witnessed
+            // linearization; offsets straddle the file-size quota.
+            21 => Op::WriteFileAt {
+                task,
+                dir: rng.below(3) as u8,
+                slot: rng.below(2) as u8,
+                offset: rng.below(crate::trace::WRITE_OFFSET_CEILING) as u16,
+                len: rng.gen_range(1..9) as u8,
+            },
             _ => Op::NextSignal { task },
         };
         ops.push(op);
@@ -158,6 +169,7 @@ fn op_task(op: &Op) -> u8 {
         | Op::CreateFile { task, .. }
         | Op::MkdirLabeled { task, .. }
         | Op::WriteFile { task, .. }
+        | Op::WriteFileAt { task, .. }
         | Op::ReadFile { task, .. }
         | Op::GetLabels { task, .. }
         | Op::Unlink { task, .. }

@@ -27,6 +27,10 @@
 //! * [`concurrent`] — the commit-order-witness regime: lanes of ops run
 //!   in parallel over disjoint task sets, then the kernel's witnessed
 //!   commit order is replayed through the single-threaded oracle.
+//! * [`audit`] — the audit-completeness regime: traces replayed with
+//!   the `laminar-obs` decision trace enabled, demanding exactly one
+//!   kernel-side event per oracle-predicted silent drop, denial, quota
+//!   rejection and VM-barrier verdict.
 //!
 //! Reproducing a CI failure locally:
 //!
@@ -38,6 +42,7 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod audit;
 pub mod concurrent;
 pub mod explore;
 pub mod fault;
@@ -45,6 +50,7 @@ pub mod oracle;
 pub mod replay;
 pub mod trace;
 
+pub use audit::{assert_audit_completeness, run_audit_trace, AuditTally};
 pub use concurrent::{
     assert_concurrent_conformance, explore_concurrent, generate_concurrent_trace,
     run_concurrent_trace, run_linearized, ConcurrentConfig, ConcurrentCounterexample,
@@ -55,6 +61,6 @@ pub use explore::{
     Counterexample, Divergence, ExploreConfig, ExploreReport,
 };
 pub use fault::{CacheFaultGuard, FaultMode, FaultPlan, SyscallFailpoint};
-pub use oracle::{DenyKind, MCaps, MLabel, MPair, Oracle, Outcome};
+pub use oracle::{DenyKind, MCaps, MDrop, MLabel, MPair, Oracle, Outcome};
 pub use replay::KernelReplay;
 pub use trace::{generate_trace, payload, Op};

@@ -18,13 +18,17 @@
 //! reads — because the conformance diff compares full outcomes and
 //! states, not just allow/deny bits.
 
-use crate::trace::{payload, Op, DIRS, FILE_SLOTS, PIPES, TAG_CEILING, TASKS};
+use crate::trace::{
+    payload, Op, DIRS, FILE_SIZE_QUOTA, FILE_SLOTS, PIPES, TAG_CEILING, TASKS,
+};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Pipe buffer capacity in bytes (mirrors `laminar_os::PIPE_CAPACITY`).
 const PIPE_CAPACITY: usize = 64 * 1024;
-/// Capability-message cap per pipe (mirrors the kernel's `push_cap`).
-const PIPE_CAP_MSG_LIMIT: usize = 4096;
+/// Message-count ceiling per pipe, bytes and capabilities together
+/// (mirrors the kernel's `PIPE_MSG_LIMIT`): the 4096th message is the
+/// last admitted, the 4097th is silently dropped.
+const PIPE_MSG_LIMIT: usize = 4096;
 /// Fixed read size for [`Op::ReadFile`].
 const READ_CHUNK: usize = 64;
 
@@ -190,19 +194,34 @@ impl MPipe {
         self.msgs.len()
     }
 
-    fn push_bytes(&mut self, data: &[u8]) {
-        if self.bytes_queued + data.len() > PIPE_CAPACITY {
-            return; // whole-message silent drop
+    /// Queues a byte message, mirroring the kernel's `push_bytes`:
+    /// zero-byte writes are a no-op *success* (never an empty queued
+    /// message), and a message past the byte capacity or the message
+    /// ceiling is dropped whole. Returns whether the message was queued
+    /// (`true` for the empty no-op — nothing was dropped).
+    fn push_bytes(&mut self, data: &[u8]) -> bool {
+        if data.is_empty() {
+            return true;
+        }
+        if self.bytes_queued + data.len() > PIPE_CAPACITY
+            || self.msgs.len() >= PIPE_MSG_LIMIT
+        {
+            return false; // whole-message silent drop
         }
         self.bytes_queued += data.len();
         self.msgs.push_back(MMsg::Bytes(data.to_vec()));
+        true
     }
 
-    fn push_cap(&mut self, tag: u32, plus: bool) {
-        if self.msgs.len() > PIPE_CAP_MSG_LIMIT {
-            return;
+    /// Queues a capability message, mirroring the kernel's `push_cap`
+    /// ceiling exactly: admitted strictly below [`PIPE_MSG_LIMIT`]
+    /// queued messages, dropped at it.
+    fn push_cap(&mut self, tag: u32, plus: bool) -> bool {
+        if self.msgs.len() >= PIPE_MSG_LIMIT {
+            return false;
         }
         self.msgs.push_back(MMsg::Cap(tag, plus));
+        true
     }
 
     fn pop_bytes(&mut self, max: usize) -> Vec<u8> {
@@ -267,6 +286,20 @@ pub struct MDir {
     pub files: BTreeMap<u8, MFile>,
 }
 
+/// Which kernel-mediated channel silently dropped a message (§5.2): the
+/// subject sees full success, only the trusted audit log records the
+/// drop. The oracle predicts these so the audit-completeness check can
+/// demand exactly one kernel-side `SilentDrop` event per prediction.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MDrop {
+    /// A pipe (or socket) byte message was dropped.
+    Pipe,
+    /// A capability transfer was dropped.
+    Cap,
+    /// A signal was dropped.
+    Signal,
+}
+
 /// The reference security state machine, mirroring the fixture the
 /// replay adapter builds (see [`crate::trace`] module docs).
 #[derive(Clone, Debug)]
@@ -279,6 +312,10 @@ pub struct Oracle {
     pub pipes: Vec<MPipe>,
     /// Number of model tags allocated so far.
     pub tags_allocated: u32,
+    /// The silent drop (if any) the *last applied op* must have caused
+    /// kernel-side. Cleared at the start of every [`Oracle::apply`]; at
+    /// most one per op, since every op pushes at most one message.
+    pub predicted_drop: Option<MDrop>,
 }
 
 impl Default for Oracle {
@@ -325,7 +362,7 @@ impl Oracle {
         ];
         let mut tasks = vec![t0, t1];
         tasks.resize_with(n, MTask::default);
-        Oracle { tasks, dirs, pipes, tags_allocated: 2 }
+        Oracle { tasks, dirs, pipes, tags_allocated: 2, predicted_drop: None }
     }
 
     /// Truncates a label mask to the allocated-tag universe.
@@ -404,6 +441,7 @@ impl Oracle {
     /// kernel's syscall layer; the conformance tests depend on it.
     #[allow(clippy::too_many_lines)] // one arm per syscall, kept together
     pub fn apply(&mut self, op: &Op, idx: usize) -> Outcome {
+        self.predicted_drop = None;
         let nt = self.tasks.len();
         match *op {
             Op::AllocTag { task } => {
@@ -454,9 +492,11 @@ impl Oracle {
                     return Outcome::Denied(DenyKind::Permission);
                 }
                 let pipe = &mut self.pipes[pipe as usize % PIPES];
-                if task.labels.flows_to(&pipe.labels) {
-                    pipe.push_cap(t, plus);
-                } // else: kernel-mediated silent drop
+                if !task.labels.flows_to(&pipe.labels) || !pipe.push_cap(t, plus) {
+                    // Flow veto or queue ceiling: kernel-mediated
+                    // silent drop either way.
+                    self.predicted_drop = Some(MDrop::Cap);
+                }
                 Outcome::Ok
             }
             Op::ReadCap { task, pipe } => {
@@ -480,9 +520,13 @@ impl Oracle {
                 let data = payload(idx, len);
                 let task = &self.tasks[task as usize % nt];
                 let pipe = &mut self.pipes[pipe as usize % PIPES];
-                if task.labels.flows_to(&pipe.labels) {
-                    pipe.push_bytes(&data);
-                } // else: silent drop; the writer still sees success
+                // Verdict precedes the emptiness check, as in the
+                // kernel: a flow-vetoed zero-byte write *is* a drop
+                // (of the message, empty or not); a deliverable
+                // zero-byte write is a pure no-op success.
+                if !task.labels.flows_to(&pipe.labels) || !pipe.push_bytes(&data) {
+                    self.predicted_drop = Some(MDrop::Pipe);
+                }
                 Outcome::Ok
             }
             Op::PipeRead { task, pipe, max } => {
@@ -541,10 +585,44 @@ impl Oracle {
                     return Outcome::Denied(DenyKind::Flow);
                 }
                 let data = payload(idx, len);
+                // The file-size quota, checked after the flow rule as
+                // in the kernel's `write_file_data` (never hit at
+                // offset zero with ≤ 8-byte payloads, but modelled for
+                // symmetry with WriteFileAt).
+                if data.len() > FILE_SIZE_QUOTA {
+                    return Outcome::Denied(DenyKind::Quota);
+                }
                 if file.data.len() < data.len() {
                     file.data.resize(data.len(), 0);
                 }
                 file.data[..data.len()].copy_from_slice(&data);
+                Outcome::Ok
+            }
+            Op::WriteFileAt { task, dir, slot, offset, len } => {
+                let (d, slot) = (dir as usize % DIRS, slot % FILE_SLOTS);
+                let task = &self.tasks[task as usize % nt];
+                if let Err(k) = self.traverse_into(&task.labels, d) {
+                    return Outcome::Denied(k);
+                }
+                let Some(file) = self.dirs[d].files.get_mut(&slot) else {
+                    return Outcome::Denied(DenyKind::NotFound);
+                };
+                if !task.labels.flows_to(&file.labels) {
+                    return Outcome::Denied(DenyKind::Flow);
+                }
+                let data = payload(idx, len);
+                let offset = offset as usize;
+                let end = offset + data.len();
+                // Fail-closed quota check before any extension, as in
+                // the kernel: a sparse write past the quota allocates
+                // nothing and changes nothing.
+                if end > FILE_SIZE_QUOTA {
+                    return Outcome::Denied(DenyKind::Quota);
+                }
+                if file.data.len() < end {
+                    file.data.resize(end, 0); // sparse gap zero-filled
+                }
+                file.data[offset..end].copy_from_slice(&data);
                 Outcome::Ok
             }
             Op::ReadFile { task, dir, slot } => {
@@ -637,7 +715,11 @@ impl Oracle {
                 let (from, to) = (task as usize % nt, target as usize % nt);
                 if self.tasks[from].labels.flows_to(&self.tasks[to].labels) {
                     self.tasks[to].signals.push_back(sig);
-                } // else: silently dropped — the sender cannot tell
+                } else {
+                    // Silently dropped — the sender cannot tell, only
+                    // the trusted audit log records it.
+                    self.predicted_drop = Some(MDrop::Signal);
+                }
                 Outcome::Ok
             }
             Op::NextSignal { task } => {
@@ -770,14 +852,29 @@ mod tests {
     #[test]
     fn pipe_mirrors_whole_message_drop_and_cap_blocking() {
         let mut p = MPipe::with_labels(MPair::unlabeled());
-        p.push_bytes(&vec![0u8; PIPE_CAPACITY]);
-        p.push_bytes(b"x"); // over capacity: dropped whole
+        assert!(p.push_bytes(&vec![0u8; PIPE_CAPACITY]));
+        assert!(!p.push_bytes(b"x")); // over capacity: dropped whole
         assert_eq!(p.bytes_queued(), PIPE_CAPACITY);
         let mut q = MPipe::with_labels(MPair::unlabeled());
-        q.push_cap(3, true);
-        q.push_bytes(b"later");
+        assert!(q.push_cap(3, true));
+        assert!(q.push_bytes(b"later"));
         assert_eq!(q.pop_bytes(8), b""); // cap at head blocks bytes
         assert_eq!(q.pop_cap(), Some((3, true)));
         assert_eq!(q.pop_bytes(8), b"later");
+    }
+
+    #[test]
+    fn pipe_mirrors_zero_byte_noop_and_message_ceiling() {
+        let mut p = MPipe::with_labels(MPair::unlabeled());
+        assert!(p.push_bytes(b"")); // no-op success, nothing queued
+        assert_eq!(p.msg_count(), 0);
+        for _ in 0..PIPE_MSG_LIMIT {
+            assert!(p.push_cap(1, true));
+        }
+        // The ceiling is exact: message 4097 is dropped, for bytes
+        // and capabilities alike.
+        assert!(!p.push_cap(1, true));
+        assert!(!p.push_bytes(b"x"));
+        assert_eq!(p.msg_count(), PIPE_MSG_LIMIT);
     }
 }

@@ -11,11 +11,13 @@
 //! against the oracle's.
 
 use crate::oracle::{DenyKind, MCaps, MLabel, MPair, Oracle, Outcome};
-use crate::trace::{payload, Op, DIRS, FILE_SLOTS, PIPES, TAG_CEILING, TASKS};
+use crate::trace::{
+    payload, Op, DIRS, FILE_SIZE_QUOTA, FILE_SLOTS, PIPES, TAG_CEILING, TASKS,
+};
 use laminar_difc::Tag;
 use laminar_difc::{CapKind, CapSet, Capability, Label, LabelType, SecPair};
 use laminar_os::{
-    Fd, Kernel, LaminarModule, OpenMode, OsError, Signal, TaskHandle, UserId,
+    Fd, Kernel, LaminarModule, OpenMode, OsError, Quotas, Signal, TaskHandle, UserId,
 };
 use std::sync::Arc;
 
@@ -68,7 +70,13 @@ impl KernelReplay {
     #[allow(clippy::missing_panics_doc)] // setup panics are test failures
     pub fn with_tasks(n: usize) -> Self {
         assert!(n >= 3, "the fixture needs at least the standard 3 tasks");
-        let kernel = Kernel::boot(LaminarModule);
+        // The conformance kernel boots with the small testkit file-size
+        // quota (mirrored by the oracle's FILE_SIZE_QUOTA) so sparse
+        // WriteFileAt offsets exercise the fail-closed quota denial.
+        let kernel = Kernel::boot_with_quotas(
+            LaminarModule,
+            Quotas { max_file_size: FILE_SIZE_QUOTA, ..Quotas::default() },
+        );
         kernel.add_user(UserId(1), "alice");
         let root = kernel.login(UserId(1)).expect("login");
 
@@ -234,6 +242,26 @@ impl KernelReplay {
                     Err(e) => deny(&e),
                 }
             }
+            // The sparse-write op goes through the fd machinery in the
+            // single-threaded regime — open, seek past EOF, write —
+            // which is exactly the `seek(huge)` + `write` vector the
+            // file-size quota bounds.
+            Op::WriteFileAt { task, dir, slot, offset, len } => {
+                let (d, slot) = (dir as usize % DIRS, slot % FILE_SLOTS);
+                let t = &self.tasks[task as usize % nt];
+                let fd = match t.open(&Self::file_path(d, slot), OpenMode::Write) {
+                    Ok(fd) => fd,
+                    Err(e) => return deny(&e),
+                };
+                let r = t
+                    .seek(fd, u64::from(offset))
+                    .and_then(|()| t.write(fd, &payload(idx, len)));
+                t.close(fd).ok();
+                match r {
+                    Ok(_) => Outcome::Ok,
+                    Err(e) => deny(&e),
+                }
+            }
             Op::ReadFile { task, dir, slot } => {
                 let (d, slot) = (dir as usize % DIRS, slot % FILE_SLOTS);
                 let t = &self.tasks[task as usize % nt];
@@ -389,6 +417,18 @@ impl KernelReplay {
             }
             // Concurrent file I/O uses the one-shot path syscalls: the
             // whole check-and-copy is one transaction, one commit point.
+            Op::WriteFileAt { task, dir, slot, offset, len } => {
+                let (d, slot) = (dir as usize % DIRS, slot % FILE_SLOTS);
+                let path = Self::file_path(d, slot);
+                match self.tasks[task as usize % nt].write_file_at_off(
+                    &path,
+                    u64::from(offset),
+                    &payload(idx, len),
+                ) {
+                    Ok(_) => Outcome::Ok,
+                    Err(e) => deny(&e),
+                }
+            }
             Op::WriteFile { task, dir, slot, len } => {
                 let (d, slot) = (dir as usize % DIRS, slot % FILE_SLOTS);
                 let path = Self::file_path(d, slot);

@@ -43,6 +43,15 @@ pub const MAX_TAGS: u32 = 5;
 /// Hard ceiling on tags: label masks are a byte, so both the oracle and
 /// the replay adapter treat [`Op::AllocTag`] beyond this as a no-op.
 pub const TAG_CEILING: u32 = 8;
+/// The per-file size quota the conformance kernel boots with
+/// (`Quotas::max_file_size`), mirrored by the oracle. Deliberately small
+/// so [`Op::WriteFileAt`] offsets (up to [`WRITE_OFFSET_CEILING`])
+/// straddle it and traces exercise the quota denial on both sides.
+pub const FILE_SIZE_QUOTA: usize = 4096;
+/// Exclusive upper bound on [`Op::WriteFileAt`] offsets: ~22% above
+/// [`FILE_SIZE_QUOTA`], so both in-quota sparse extends and fail-closed
+/// quota denials are generated.
+pub const WRITE_OFFSET_CEILING: u64 = 5000;
 
 /// One step of a trace: a Fig. 3 syscall, a VFS operation, or a
 /// VM-layer event. Fields are small raw operands; consumers normalize
@@ -72,6 +81,11 @@ pub enum Op {
     MkdirLabeled { task: u8, dir: u8, s_mask: u8, i_mask: u8 },
     /// `open(Write)` + `write` + `close` of a deterministic payload.
     WriteFile { task: u8, dir: u8, slot: u8, len: u8 },
+    /// `open(Write)` + `seek(offset)` + `write` + `close` — a sparse
+    /// write at a nonzero offset, subject to the file-size quota. The
+    /// concurrent regime uses the one-shot `write_file_at_off` syscall
+    /// instead (one transaction, one commit ticket).
+    WriteFileAt { task: u8, dir: u8, slot: u8, offset: u16, len: u8 },
     /// `open(Read)` + `read` + `close` (up to 64 bytes).
     ReadFile { task: u8, dir: u8, slot: u8 },
     /// `get_labels` on a file path.
@@ -114,7 +128,7 @@ pub fn generate_trace(seed: u64, len: usize) -> Vec<Op> {
     while ops.len() < len {
         let task = rng.below(TASKS as u64) as u8;
         let mask = |rng: &mut SplitMix64, tags: u32| rng.below(1 << tags) as u8;
-        let op = match rng.below(24) {
+        let op = match rng.below(25) {
             0 => {
                 if tags >= MAX_TAGS {
                     continue;
@@ -139,10 +153,14 @@ pub fn generate_trace(seed: u64, len: usize) -> Vec<Op> {
                 plus: rng.gen_bool(),
             },
             6 => Op::ReadCap { task, pipe: rng.below(PIPES as u64) as u8 },
+            // Zero-length writes are in-vocabulary: a zero-byte pipe
+            // write must be a no-op success, never an empty queued
+            // message (the kernel bug this pinned down was unbounded
+            // `msgs` growth from empty messages).
             7 | 8 => Op::PipeWrite {
                 task,
                 pipe: rng.below(PIPES as u64) as u8,
-                len: rng.gen_range(1..9) as u8,
+                len: rng.below(9) as u8,
             },
             9 | 10 => Op::PipeRead {
                 task,
@@ -196,6 +214,17 @@ pub fn generate_trace(seed: u64, len: usize) -> Vec<Op> {
                 write: rng.gen_bool(),
                 s_mask: mask(&mut rng, tags),
                 i_mask: mask(&mut rng, tags),
+            },
+            // Sparse writes target a narrow dir/slot window so they
+            // frequently land on files an earlier CreateFile made, and
+            // the offset range straddles FILE_SIZE_QUOTA — together the
+            // matrix reaches both in-quota extends and quota denials.
+            24 => Op::WriteFileAt {
+                task,
+                dir: rng.below(3) as u8,
+                slot: rng.below(2) as u8,
+                offset: rng.below(WRITE_OFFSET_CEILING) as u16,
+                len: rng.gen_range(1..9) as u8,
             },
             _ => Op::RegionEnter {
                 task,

@@ -1,0 +1,82 @@
+//! Audit-completeness conformance: over the full CI seed matrix
+//! (default 8 seeds × 500 traces × 28 ops = 4000 traces), every
+//! oracle-predicted enforcement decision — silent drop, typed denial,
+//! quota rejection, VM-barrier verdict — must appear in the trusted
+//! audit log exactly once, and nothing unpredicted may appear.
+//!
+//! The audit-enabled flag is process-global, so the tests in this file
+//! serialize on one mutex.
+
+use laminar_testkit::{assert_audit_completeness, run_audit_trace, ExploreConfig, Op};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+fn serial() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[test]
+fn audit_log_is_complete_over_the_seed_matrix() {
+    let _g = serial();
+    let cfg = ExploreConfig::from_env(laminar_testkit::FaultPlan::none());
+    let tally =
+        assert_audit_completeness(&cfg.seeds, cfg.traces_per_seed, cfg.ops_per_trace);
+    let traces = cfg.seeds.len() * cfg.traces_per_seed;
+    eprintln!(
+        "audit completeness: {traces} traces, {} ops, {} drops, {} denials \
+         ({} quota), {} VM checks — all matched exactly once",
+        tally.ops,
+        tally.drops_matched,
+        tally.denials_matched,
+        tally.quota_matched,
+        tally.vm_checks_matched
+    );
+    // The run must actually exercise each audited decision class, or
+    // "complete" would be vacuous. At default volume each of these
+    // fires thousands of times; the floors hold for any ≥ 100-trace
+    // run. Quota denials are rarer in random traces (they need a
+    // successful create + a straddling sparse write on the same slot),
+    // so their anti-vacuity floor lives in the deterministic test
+    // below rather than here, where a fresh nightly seed base could
+    // legitimately produce zero.
+    assert!(tally.drops_matched > 0, "no silent drops exercised");
+    assert!(tally.denials_matched > 0, "no denials exercised");
+    assert!(tally.vm_checks_matched > 0, "no VM barrier checks exercised");
+}
+
+#[test]
+fn quota_denial_is_audited_exactly_once_across_fd_and_oneshot_paths() {
+    let _g = serial();
+    // A file created in /tmp, then a sparse write straddling the quota:
+    // offset 4999 + 4 bytes > 4096 ⇒ Denied(Quota) with exactly one
+    // QuotaExceeded event and one denied commit — the regression shape
+    // for the unvalidated-resize bug.
+    let ops = [
+        Op::CreateFile { task: 0, dir: 1, slot: 0, s_mask: 0, i_mask: 0 },
+        Op::WriteFileAt { task: 0, dir: 1, slot: 0, offset: 4999, len: 4 },
+        // And an in-quota sparse write right at the boundary: 4092 + 4
+        // = 4096 is admitted (the quota is inclusive).
+        Op::WriteFileAt { task: 0, dir: 1, slot: 0, offset: 4092, len: 4 },
+    ];
+    let tally = run_audit_trace(&ops).expect("audit-complete");
+    assert_eq!(tally.quota_matched, 1);
+    assert_eq!(tally.denials_matched, 1);
+}
+
+#[test]
+fn flow_vetoed_zero_byte_pipe_write_is_still_an_audited_drop() {
+    let _g = serial();
+    // Task 2 (no capabilities) writes zero bytes to the S{0}-labeled
+    // pipe 1... allowed (unlabeled → labeled flows). Use the reverse:
+    // taint task 0 with S{0}, then write to the unlabeled pipe 0 — the
+    // verdict precedes the emptiness check, so even a zero-byte message
+    // is a (whole-message) silent drop, and must be audited as one.
+    let ops = [
+        Op::SetLabel { task: 0, secrecy: true, mask: 0b01 },
+        Op::PipeWrite { task: 0, pipe: 0, len: 0 },
+        // A deliverable zero-byte write is a pure no-op: no drop event.
+        Op::PipeWrite { task: 2, pipe: 0, len: 0 },
+    ];
+    let tally = run_audit_trace(&ops).expect("audit-complete");
+    assert_eq!(tally.drops_matched, 1);
+}

@@ -1,0 +1,113 @@
+//! Regressions for the unbounded-allocation bugs in the VFS write
+//! paths. `write_file_data` used to `resize` to whatever `seek` offset
+//! the subject picked — `seek(u64::MAX - 7)` + an 8-byte write asked
+//! the kernel for a multi-exabyte allocation — and the fd write path
+//! narrowed `file.offset as usize`, truncating huge offsets into small
+//! in-bounds writes on 32-bit hosts. Both are now fail-closed
+//! [`OsError::QuotaExceeded`] *before* any allocation, on both the
+//! fd path (`open`/`seek`/`write`) and the one-shot
+//! `write_file_at_off` path.
+
+use laminar_os::{Kernel, LaminarModule, OpenMode, OsError, Quotas, TaskHandle, UserId};
+use std::sync::Arc;
+
+const QUOTA: usize = 1 << 16; // 64 KiB — small enough to straddle cheaply
+
+fn size(k: &Arc<Kernel>, path: &str) -> usize {
+    k.inspect_node_for_test(path).unwrap().1.map_or(0, |d| d.len())
+}
+
+fn boot() -> (Arc<Kernel>, TaskHandle) {
+    let k = Kernel::boot_with_quotas(
+        LaminarModule,
+        Quotas { max_file_size: QUOTA, ..Quotas::default() },
+    );
+    k.add_user(UserId(1), "alice");
+    let t = k.login(UserId(1)).unwrap();
+    (k, t)
+}
+
+/// The original report: a sparse write far past the quota must be a
+/// typed denial with no allocation, not an OOM-sized `resize`.
+#[test]
+fn sparse_write_past_the_quota_is_fail_closed() {
+    let (k, alice) = boot();
+    let fd = alice.create("/home/alice/sparse").unwrap();
+    // Would have allocated ~16 EiB before the fix.
+    alice.seek(fd, u64::MAX - 7).unwrap();
+    let err = alice.write(fd, b"overflow").unwrap_err();
+    assert!(matches!(err, OsError::QuotaExceeded("file size")), "got {err:?}");
+    // The denial rolled the transaction back: the file is untouched and
+    // the fd offset survives for the caller to reposition.
+    assert_eq!(size(&k, "/home/alice/sparse"), 0);
+
+    // Just past the quota is equally denied…
+    alice.seek(fd, QUOTA as u64).unwrap();
+    let err = alice.write(fd, b"x").unwrap_err();
+    assert!(matches!(err, OsError::QuotaExceeded("file size")), "got {err:?}");
+
+    // …while a sparse write that ends exactly at the quota is admitted
+    // (the bound is inclusive) and zero-fills the gap.
+    alice.seek(fd, (QUOTA - 8) as u64).unwrap();
+    assert_eq!(alice.write(fd, b"12345678").unwrap(), 8);
+    assert_eq!(size(&k, "/home/alice/sparse"), QUOTA);
+}
+
+/// `offset + len` overflowing `usize` must be the same typed denial as
+/// exceeding the quota, never a wrapped (small) allocation.
+#[test]
+fn offset_length_overflow_is_a_quota_denial() {
+    let (k, alice) = boot();
+    let fd = alice.create("/home/alice/wrap").unwrap();
+    alice.seek(fd, u64::MAX).unwrap();
+    let err = alice.write(fd, b"y").unwrap_err();
+    assert!(matches!(err, OsError::QuotaExceeded("file size")), "got {err:?}");
+    assert_eq!(size(&k, "/home/alice/wrap"), 0);
+}
+
+/// The one-shot path (`write_file_at_off`, used by the concurrent
+/// conformance regime) enforces the same bound.
+#[test]
+fn one_shot_sparse_write_respects_the_quota() {
+    let (k, alice) = boot();
+    let fd = alice.create("/home/alice/oneshot").unwrap();
+    alice.close(fd).unwrap();
+
+    let err = alice
+        .write_file_at_off("/home/alice/oneshot", u64::MAX - 3, b"over")
+        .unwrap_err();
+    assert!(matches!(err, OsError::QuotaExceeded("file size")), "got {err:?}");
+    let err =
+        alice.write_file_at_off("/home/alice/oneshot", QUOTA as u64, b"z").unwrap_err();
+    assert!(matches!(err, OsError::QuotaExceeded("file size")), "got {err:?}");
+    assert_eq!(size(&k, "/home/alice/oneshot"), 0);
+
+    let n = alice
+        .write_file_at_off("/home/alice/oneshot", (QUOTA - 4) as u64, b"tail")
+        .unwrap();
+    assert_eq!(n, 4);
+    assert_eq!(size(&k, "/home/alice/oneshot"), QUOTA);
+}
+
+/// The quota caps the file's *length*, not the write's: overwriting the
+/// middle of a quota-sized file stays legal.
+#[test]
+fn in_place_overwrites_below_the_quota_still_work() {
+    let (k, alice) = boot();
+    let fd = alice.create("/home/alice/grow").unwrap();
+    // Fill to the quota in chunks, then rewrite the middle.
+    let chunk = vec![0xA5u8; QUOTA / 4];
+    for _ in 0..4 {
+        assert_eq!(alice.write(fd, &chunk).unwrap(), chunk.len());
+    }
+    alice.seek(fd, (QUOTA / 2) as u64).unwrap();
+    assert_eq!(alice.write(fd, b"middle").unwrap(), 6);
+    alice.close(fd).unwrap();
+    assert_eq!(size(&k, "/home/alice/grow"), QUOTA);
+
+    // But one more appended byte is over the line.
+    let fd = alice.open("/home/alice/grow", OpenMode::Write).unwrap();
+    alice.seek(fd, QUOTA as u64).unwrap();
+    let err = alice.write(fd, b"!").unwrap_err();
+    assert!(matches!(err, OsError::QuotaExceeded("file size")), "got {err:?}");
+}

@@ -10,6 +10,26 @@
 use crate::error::{VmError, VmResult};
 use laminar_difc::SecPair;
 
+/// Decision-trace hook for the audit subsystem: reports a VM-barrier
+/// verdict to `laminar-obs`. `#[cold]` and called only behind an
+/// `enabled()` check, so the disabled-mode barrier cost is one relaxed
+/// atomic load on top of the flow check itself.
+#[cold]
+fn trace_barrier(op: &'static str, subject: &SecPair, object: &SecPair, allowed: bool) {
+    laminar_obs::emit(laminar_obs::Event::FlowCheck {
+        layer: laminar_obs::Layer::Vm,
+        op,
+        subject: subject.id().as_u32(),
+        object: object.id().as_u32(),
+        verdict: if allowed {
+            laminar_obs::Verdict::Allow
+        } else {
+            laminar_obs::Verdict::Deny
+        },
+        cache_hit: false,
+    });
+}
+
 /// The in-region **read** barrier check: reading `obj` is a flow
 /// `obj → thread`, so it requires `S_obj ⊆ S_thread` and
 /// `I_thread ⊆ I_obj` (§4.3.2).
@@ -17,7 +37,11 @@ use laminar_difc::SecPair;
 /// # Errors
 /// [`VmError::Flow`] naming the violated component.
 pub fn barrier_read_check(obj: &SecPair, thread: &SecPair) -> VmResult<()> {
-    obj.can_flow_to_cached(thread).map_err(VmError::from)
+    let r = obj.can_flow_to_cached(thread).map_err(VmError::from);
+    if laminar_obs::enabled() {
+        trace_barrier("barrier_read", thread, obj, r.is_ok());
+    }
+    r
 }
 
 /// The in-region **write** barrier check: writing `obj` is a flow
@@ -26,7 +50,11 @@ pub fn barrier_read_check(obj: &SecPair, thread: &SecPair) -> VmResult<()> {
 /// # Errors
 /// [`VmError::Flow`] naming the violated component.
 pub fn barrier_write_check(thread: &SecPair, obj: &SecPair) -> VmResult<()> {
-    thread.can_flow_to_cached(obj).map_err(VmError::from)
+    let r = thread.can_flow_to_cached(obj).map_err(VmError::from);
+    if laminar_obs::enabled() {
+        trace_barrier("barrier_write", thread, obj, r.is_ok());
+    }
+    r
 }
 
 #[cfg(test)]

@@ -353,6 +353,21 @@ impl Vm {
     // --- regions ----------------------------------------------------------
 
     fn enter_region(&mut self, spec_id: RegionSpecId) -> VmResult<()> {
+        let r = self.enter_region_checked(spec_id);
+        if laminar_obs::enabled() {
+            laminar_obs::emit(laminar_obs::Event::RegionEnter {
+                layer: laminar_obs::Layer::Vm,
+                verdict: if r.is_ok() {
+                    laminar_obs::Verdict::Allow
+                } else {
+                    laminar_obs::Verdict::Deny
+                },
+            });
+        }
+        r
+    }
+
+    fn enter_region_checked(&mut self, spec_id: RegionSpecId) -> VmResult<()> {
         let spec = self
             .program
             .region_specs
@@ -431,6 +446,9 @@ impl Vm {
         }
         self.stats.regions_aborted += 1;
         crate::stats::note_region_aborted();
+        laminar_obs::emit(laminar_obs::Event::RegionAbort {
+            layer: laminar_obs::Layer::Vm,
+        });
     }
 
     fn exit_region(&mut self) -> VmResult<()> {
